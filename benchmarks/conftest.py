@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact at the *fast* scale (the
+shapes of the full-scale run are preserved; wall-clock stays in minutes)
+and prints the resulting rows/series so a benchmark run doubles as an
+evidence run. ``benchmark.pedantic(rounds=1, iterations=1)`` is used
+throughout: these are end-to-end experiment timings, not microbenchmarks,
+and one round is what the paper's grid costs.
+
+The experiment-level caches in :mod:`repro.experiments.common` are
+process-wide, so fig5/fig6/table3 share a single training run when the
+suite runs in one pytest session.
+"""
+
+import pytest
+
+from repro.experiments.common import FAST_SCALE
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="session")
+def fast_scale():
+    return FAST_SCALE
+
+
+@pytest.fixture(scope="session")
+def run_artifact():
+    """Run a registered experiment at fast scale and print its output."""
+
+    def _run(experiment_id):
+        result = run_experiment(experiment_id, FAST_SCALE)
+        print()
+        print(result.render())
+        return result
+
+    return _run

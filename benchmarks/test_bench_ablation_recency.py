@@ -1,0 +1,35 @@
+"""Ablation bench: hyperbolic (Eq 19) vs exponential (Eq 20) recency.
+
+The paper chooses the hyperbolic form, citing its Ref. [14]'s finding
+that hyperbolic decay fits interest forgetting better. This ablation
+trains TS-PPR with each form on the Gowalla-like data and reports both;
+the check is weak on purpose (either may win by a little on synthetic
+data) — what must hold is that both variants train and the hyperbolic
+default is not *clearly* worse.
+"""
+
+from repro.evaluation.protocol import evaluate_recommender
+from repro.experiments.common import FAST_SCALE, build_split, default_config
+from repro.models.tsppr import TSPPRRecommender
+
+
+def _evaluate(recency_kind):
+    split = build_split("gowalla", FAST_SCALE)
+    config = default_config("gowalla", FAST_SCALE, recency_kind=recency_kind)
+    model = TSPPRRecommender(config).fit(split)
+    return evaluate_recommender(model, split)
+
+
+def test_bench_ablation_recency_kind(benchmark):
+    hyperbolic = _evaluate("hyperbolic")
+
+    exponential = benchmark.pedantic(
+        lambda: _evaluate("exponential"), rounds=1, iterations=1
+    )
+    print(
+        f"\nrecency ablation MaAP@10: hyperbolic={hyperbolic.maap[10]:.4f} "
+        f"exponential={exponential.maap[10]:.4f}"
+    )
+    assert hyperbolic.maap[10] > 0.0
+    assert exponential.maap[10] > 0.0
+    assert hyperbolic.maap[10] >= exponential.maap[10] - 0.05

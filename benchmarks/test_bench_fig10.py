@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig 10 (sensitivity to negative-sample count S).
+
+Shape check: the paper finds S barely matters — the spread of MaAP@10
+across the S grid stays small on both datasets.
+"""
+
+
+def test_bench_fig10(benchmark, run_artifact):
+    result = benchmark.pedantic(
+        lambda: run_artifact("fig10"), rounds=1, iterations=1
+    )
+    assert len(result.series) == 8  # 2 datasets x 2 metrics x 2 Ω settings
+    for name, points in result.series.items():
+        values = [v for _, v in points]
+        spread = max(values) - min(values)
+        assert spread < 0.15, f"{name}: S-sensitivity too large ({spread:.3f})"

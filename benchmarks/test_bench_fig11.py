@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig 11 (sensitivity to the minimum gap Ω).
+
+Shape checks: the paper sees accuracy *rise* with Ω on Lastfm (the
+candidate set shrinks as Ω grows) and *fall* on Gowalla (the strong
+recency effect: the easiest targets leave the evaluation). At this
+reproduction's candidate-set scale (~20-30 distinct items per window vs
+the paper's up to 90), the mechanical shrinkage dominates both datasets,
+so only the Lastfm half of the crossover is asserted; the Gowalla trend
+is printed and recorded as a documented deviation (EXPERIMENTS.md §9).
+"""
+
+
+def test_bench_fig11(benchmark, run_artifact):
+    result = benchmark.pedantic(
+        lambda: run_artifact("fig11"), rounds=1, iterations=1
+    )
+    gowalla = result.series["Gowalla-like / MaAP@10 vs Ω (S=10)"]
+    lastfm = result.series["Lastfm-like / MaAP@10 vs Ω (S=10)"]
+    gowalla_trend = gowalla[-1][1] - gowalla[0][1]
+    lastfm_trend = lastfm[-1][1] - lastfm[0][1]
+    print(f"\nΩ-trend MaAP@10 (Ω=5 → Ω=40): Gowalla-like {gowalla_trend:+.4f}, "
+          f"Lastfm-like {lastfm_trend:+.4f} (paper: Gowalla falls, Lastfm rises)")
+    assert lastfm_trend > 0, f"Lastfm-like should rise with Ω ({lastfm_trend:+.3f})"

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig 12 (convergence of r̃).
+
+Shape checks: r̃ rises from its initial value and converges; the
+converged margin is higher on the Gowalla-like data than the
+Lastfm-like data (the paper's explanation for the accuracy-gap
+difference).
+"""
+
+
+def test_bench_fig12(benchmark, run_artifact):
+    result = benchmark.pedantic(
+        lambda: run_artifact("fig12"), rounds=1, iterations=1
+    )
+    gowalla = result.series["Gowalla-like / r̃ vs updates"]
+    lastfm = result.series["Lastfm-like / r̃ vs updates"]
+    for series in (gowalla, lastfm):
+        assert series[-1][1] > series[0][1]
+    assert gowalla[-1][1] > lastfm[-1][1]

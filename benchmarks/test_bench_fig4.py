@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig 4 (repeat counts by feature rank).
+
+Shape check: for IP / IR / DF the rank-1..5 mass dominates ranks 6..20
+(the paper's decreasing curves), and the Gowalla-like curves are steeper
+than the Lastfm-like ones.
+"""
+
+
+def _top_share(points, k=5):
+    counts = [count for _, count in points]
+    total = sum(counts)
+    return sum(counts[:k]) / total if total else 0.0
+
+
+def test_bench_fig4(benchmark, run_artifact):
+    result = benchmark.pedantic(
+        lambda: run_artifact("fig4"), rounds=1, iterations=1
+    )
+    assert len(result.series) == 8
+    for code in ("IP", "IR", "DF"):
+        gowalla = result.series[f"Gowalla-like / {code}"]
+        lastfm = result.series[f"Lastfm-like / {code}"]
+        # Decreasing-curve shape: the top 5 of 20 ranks are heavily
+        # over-represented relative to the uniform 25%.
+        assert _top_share(gowalla) > 0.4
+        assert _top_share(lastfm) > 0.28
+        # Gowalla-like is the steeper (more discriminative) dataset.
+        assert _top_share(gowalla) > _top_share(lastfm)

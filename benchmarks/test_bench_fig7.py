@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig 7 (feature-importance ablation).
+
+Shape checks: on the Gowalla-like data, every single-feature removal
+costs accuracy relative to "All" (within a small tolerance — the paper's
+IP/RE/DF drops are slight), and removing a feature never *helps* by a
+large margin.
+"""
+
+
+def _score(rows, dataset, variant):
+    for row in rows:
+        if row["Data set"] == dataset and row["Variant"] == variant:
+            return row["MaAP@10"]
+    raise KeyError((dataset, variant))
+
+
+def test_bench_fig7(benchmark, run_artifact):
+    result = benchmark.pedantic(
+        lambda: run_artifact("fig7"), rounds=1, iterations=1
+    )
+    rows = result.rows
+    assert len(rows) == 10  # 2 datasets x (All + 4 removals)
+    for dataset in ("Gowalla-like", "Lastfm-like"):
+        all_features = _score(rows, dataset, "All")
+        for variant in ("-IP", "-IR", "-RE", "-DF"):
+            ablated = _score(rows, dataset, variant)
+            # Removing a feature must not help much (paper: it hurts).
+            assert ablated <= all_features + 0.03

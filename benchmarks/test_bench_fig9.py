@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig 9 (sensitivity to latent dimension K).
+
+Shape check: on the Gowalla-like data accuracy does not keep improving
+past K = 40 by much (the paper's saturation), and tiny K is not better
+than the default.
+"""
+
+
+def test_bench_fig9(benchmark, run_artifact):
+    result = benchmark.pedantic(
+        lambda: run_artifact("fig9"), rounds=1, iterations=1
+    )
+    points = dict(result.series["Gowalla-like / MaAP@10 vs K"])
+    assert set(points) == {5, 10, 20, 40, 80}
+    # Saturation: K=80 gains little over K=40.
+    assert points[80] <= points[40] + 0.05

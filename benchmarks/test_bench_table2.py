@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 2 (dataset statistics)."""
+
+
+def test_bench_table2(benchmark, run_artifact):
+    result = benchmark.pedantic(
+        lambda: run_artifact("table2"), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 2
+    gowalla, lastfm = result.rows
+    assert gowalla["Users"] > 0 and lastfm["Users"] > 0
+    # Lastfm-like must reproduce the ~77% repeat regime the paper cites.
+    assert 0.6 < lastfm["Repeat fraction"] < 0.9

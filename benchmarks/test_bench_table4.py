@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 4 (default hyper-parameter record)."""
+
+
+def test_bench_table4(benchmark, run_artifact):
+    result = benchmark.pedantic(
+        lambda: run_artifact("table4"), rounds=1, iterations=1
+    )
+    by_dataset = {row["Data set"]: row for row in result.rows}
+    assert by_dataset["Gowalla"]["λ"] == 0.01
+    assert by_dataset["Gowalla"]["γ"] == 0.05
+    assert by_dataset["Lastfm"]["λ"] == 0.001
+    assert by_dataset["Lastfm"]["γ"] == 0.1
+    for row in result.rows:
+        assert row["K"] == 40
+        assert row["S"] == 10
+        assert row["Ω"] == 10

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 5 (STREC + TS-PPR combination).
+
+Shape checks: STREC's switch accuracy lands in the paper's 0.6-0.9
+band; conditional MaAP grows with the cut-off; the joint product is a
+valid probability.
+"""
+
+
+def test_bench_table5(benchmark, run_artifact):
+    result = benchmark.pedantic(
+        lambda: run_artifact("table5"), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert 0.55 <= row["STREC"] <= 0.95
+        assert row["MaAP@1"] <= row["MaAP@5"] <= row["MaAP@10"]
+        joint = row["STREC"] * row["MaAP@10"]
+        assert 0.0 < joint < 1.0

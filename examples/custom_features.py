@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Extending TS-PPR with a domain-specific behavioural feature.
+
+The paper: "more domain-specific features can also be appended to the
+vector representation of behavioural features as extensions." This
+example adds a *session co-visit* feature for LBSN check-ins — how often
+the candidate place was visited right after the place the user just
+checked into (a proximity/routine proxy a real deployment would compute
+from geography) — registers it, and trains TS-PPR with F = 5 features.
+
+Run: ``python examples/custom_features.py``
+"""
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import (
+    TSPPRRecommender,
+    evaluate_recommender,
+    generate_gowalla,
+    gowalla_default_config,
+    temporal_split,
+)
+from repro.config import WindowConfig
+from repro.data.dataset import Dataset
+from repro.data.sequence import ConsumptionSequence
+from repro.features.base import FeatureExtractor, register_feature, unregister_feature
+from repro.windows.window import WindowView
+
+
+class SessionCoVisitFeature(FeatureExtractor):
+    """P(candidate is visited next | the user's current place).
+
+    Learned from training bigrams; normalized per previous place. In a
+    real LBSN this would fold in geographic distance — here it captures
+    the generator's routine structure (A then B then A ...).
+    """
+
+    name = "session_covisit"
+
+    def __init__(self) -> None:
+        self._bigram: Optional[Dict[Tuple[int, int], float]] = None
+
+    def fit(self, train_dataset: Dataset, window: WindowConfig) -> "SessionCoVisitFeature":
+        counts: Dict[Tuple[int, int], int] = {}
+        totals: Dict[int, int] = {}
+        for sequence in train_dataset:
+            items = sequence.items.tolist()
+            for previous, current in zip(items, items[1:]):
+                counts[(previous, current)] = counts.get((previous, current), 0) + 1
+                totals[previous] = totals.get(previous, 0) + 1
+        self._bigram = {
+            pair: count / totals[pair[0]] for pair, count in counts.items()
+        }
+        return self
+
+    def value(
+        self,
+        sequence: ConsumptionSequence,
+        item: int,
+        t: int,
+        window: WindowView,
+    ) -> float:
+        if self._bigram is None or t == 0:
+            return 0.0
+        current_place = int(sequence[t - 1])
+        return self._bigram.get((current_place, int(item)), 0.0)
+
+
+def main() -> None:
+    dataset = generate_gowalla(random_state=31, user_factor=0.25)
+    split = temporal_split(dataset)
+
+    register_feature(SessionCoVisitFeature.name, SessionCoVisitFeature)
+    try:
+        print("Training baseline TS-PPR (the paper's 4 features) ...")
+        base_config = gowalla_default_config(max_epochs=80_000, seed=6)
+        baseline = TSPPRRecommender(base_config).fit(split)
+        base_result = evaluate_recommender(baseline, split)
+
+        print("Training extended TS-PPR (4 + session_covisit = F=5) ...")
+        extended_config = base_config.with_overrides(
+            feature_names=(
+                "item_quality",
+                "item_reconsumption_ratio",
+                "recency",
+                "dynamic_familiarity",
+                "session_covisit",
+            )
+        )
+        extended = TSPPRRecommender(extended_config).fit(split)
+        ext_result = evaluate_recommender(extended, split)
+
+        for name, result in (("4 features", base_result),
+                             ("5 features", ext_result)):
+            print(f"  {name}: "
+                  + "  ".join(f"MaAP@{n}={result.maap[n]:.3f}" for n in (1, 5, 10)))
+        delta = ext_result.maap[10] - base_result.maap[10]
+        print(f"  Δ MaAP@10 from the domain feature: {delta:+.3f}")
+    finally:
+        unregister_feature(SessionCoVisitFeature.name)
+
+
+if __name__ == "__main__":
+    main()

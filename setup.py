@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+``pip install -e .`` requires network access for PEP 517 build isolation;
+in offline environments install with ``python setup.py develop`` instead
+(metadata comes from pyproject.toml either way).
+"""
+
+from setuptools import setup
+
+setup()

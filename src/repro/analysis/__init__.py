@@ -1,0 +1,31 @@
+"""Repeat-consumption analytics.
+
+Descriptive tooling in the spirit of the behavioural studies the paper
+builds on (Anderson et al. WWW'14; Chen et al. AAAI'15): per-user
+repeat/novelty profiles, quality-vs-recency decomposition of observed
+reconsumptions, feature-rank curves (the machinery behind Fig 4), and
+item lifetime summaries. Useful both to sanity-check real datasets
+before modelling and to verify the synthetic generators produce the
+regimes they claim.
+"""
+
+from repro.analysis.profiles import (
+    UserProfile,
+    dataset_profile_summary,
+    user_profiles,
+)
+from repro.analysis.decomposition import (
+    RepeatDecomposition,
+    decompose_repeats,
+)
+from repro.analysis.lifetimes import ItemLifetime, item_lifetimes
+
+__all__ = [
+    "ItemLifetime",
+    "RepeatDecomposition",
+    "UserProfile",
+    "dataset_profile_summary",
+    "decompose_repeats",
+    "item_lifetimes",
+    "user_profiles",
+]

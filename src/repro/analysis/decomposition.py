@@ -1,0 +1,89 @@
+"""Quality-vs-recency decomposition of observed reconsumptions.
+
+Anderson et al. (WWW'14) — the paper's behavioural foundation — ask of
+each reconsumption: was the chosen item the *most frequent* candidate
+(quality-driven), the *most recent* candidate (recency-driven), both, or
+neither? The share of each class characterizes a dataset's repeat
+dynamics; it is the one-number version of Fig 4's curves and explains
+which baselines (Pop vs Recency) should do well where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import WindowConfig
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+from repro.windows.repeat import iter_repeat_positions, recent_items
+
+
+@dataclass(frozen=True)
+class RepeatDecomposition:
+    """Shares of reconsumption drivers over a dataset's repeat events."""
+
+    n_events: int
+    quality_share: float
+    recency_share: float
+    both_share: float
+    neither_share: float
+
+    def __post_init__(self) -> None:
+        total = (
+            self.quality_share
+            + self.recency_share
+            + self.both_share
+            + self.neither_share
+        )
+        if self.n_events and abs(total - 1.0) > 1e-9:
+            raise DataError(f"shares must sum to 1, got {total}")
+
+
+def decompose_repeats(
+    dataset: Dataset,
+    window: WindowConfig = None,
+) -> RepeatDecomposition:
+    """Classify every qualifying repeat event in ``dataset``.
+
+    An event counts as *quality-driven* when the chosen item has the
+    (weakly) highest in-window count among candidates, *recency-driven*
+    when it has the smallest gap, *both* when both hold, *neither*
+    otherwise. Ties are resolved generously (weak maxima), matching the
+    original study.
+    """
+    window = window or WindowConfig()
+    quality_only = recency_only = both = neither = 0
+    for sequence in dataset:
+        for t, view in iter_repeat_positions(
+            sequence, window.window_size, window.min_gap
+        ):
+            chosen = int(sequence[t])
+            excluded = recent_items(sequence, t, window.min_gap)
+            candidates = sorted(view.item_set - excluded)
+            if len(candidates) < 2:
+                continue
+            counts = {item: view.count(item) for item in candidates}
+            gaps = {
+                item: t - sequence.last_position_before(item, t)
+                for item in candidates
+            }
+            is_quality = counts[chosen] >= max(counts.values())
+            is_recency = gaps[chosen] <= min(gaps.values())
+            if is_quality and is_recency:
+                both += 1
+            elif is_quality:
+                quality_only += 1
+            elif is_recency:
+                recency_only += 1
+            else:
+                neither += 1
+    n_events = quality_only + recency_only + both + neither
+    if n_events == 0:
+        return RepeatDecomposition(0, 0.0, 0.0, 0.0, 0.0)
+    return RepeatDecomposition(
+        n_events=n_events,
+        quality_share=quality_only / n_events,
+        recency_share=recency_only / n_events,
+        both_share=both / n_events,
+        neither_share=neither / n_events,
+    )

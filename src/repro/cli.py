@@ -1,0 +1,111 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run fig5 --scale fast
+    repro-experiments run all --scale full --output results.txt
+
+``run all`` executes every registered table/figure in id order and
+concatenates the rendered outputs — the full EXPERIMENTS.md evidence run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import scale_by_name
+from repro.experiments.registry import (
+    available_experiments,
+    run_experiment,
+)
+from repro.logging_utils import enable_console_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Recommendation for "
+            "Repeat Consumption from User Implicit Feedback' (ICDE 2017)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig5, table3) or 'all'",
+    )
+    run_parser.add_argument(
+        "--scale",
+        default="fast",
+        choices=("smoke", "fast", "full"),
+        help="run profile (default: fast)",
+    )
+    run_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the rendered output to this file",
+    )
+    run_parser.add_argument(
+        "--json-dir",
+        type=Path,
+        default=None,
+        help="also archive each result as <id>.json under this directory",
+    )
+    run_parser.add_argument(
+        "--verbose", action="store_true", help="log progress to stderr"
+    )
+    return parser
+
+
+def _run(
+    experiment_ids: List[str],
+    scale_name: str,
+    output: Optional[Path],
+    json_dir: Optional[Path] = None,
+) -> str:
+    from repro.experiments.storage import save_result
+
+    scale = scale_by_name(scale_name)
+    blocks: List[str] = []
+    for experiment_id in experiment_ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, scale)
+        elapsed = time.perf_counter() - start
+        blocks.append(result.render())
+        blocks.append(f"[{experiment_id} completed in {elapsed:.1f}s at scale {scale.name}]")
+        if json_dir is not None:
+            save_result(result, json_dir)
+    text = "\n\n".join(blocks)
+    if output is not None:
+        output.write_text(text + "\n")
+    return text
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.verbose:
+        enable_console_logging()
+    experiment_ids = (
+        available_experiments() if args.experiment == "all" else [args.experiment]
+    )
+    print(_run(experiment_ids, args.scale, args.output, args.json_dir))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Data model for user implicit-feedback consumption sequences.
+
+The paper's unit of data is a per-user, time-ascending *consumption
+sequence* ``S_u = (x_1, ..., x_T)`` over a shared item vocabulary. This
+subpackage provides:
+
+* :class:`~repro.data.vocab.Vocabulary` — bidirectional raw-id ↔ dense
+  integer index mapping for users and items;
+* :class:`~repro.data.sequence.ConsumptionSequence` — one user's ordered
+  consumption history (ints into the item vocabulary);
+* :class:`~repro.data.dataset.Dataset` — the collection of all sequences
+  plus vocabularies and summary statistics (Table 2);
+* loaders for event-log files (:mod:`repro.data.loaders`), including the
+  paper's "drop listens shorter than 30 seconds" filter;
+* the per-user 70/30 temporal split with the ``0.7·|S_u| ≥ |W|`` user
+  filter (:mod:`repro.data.split`).
+"""
+
+from repro.data.dataset import Dataset, DatasetStats
+from repro.data.loaders import (
+    EventRecord,
+    load_event_log,
+    read_events,
+    save_event_log,
+    write_events,
+)
+from repro.data.sequence import ConsumptionSequence
+from repro.data.split import SplitDataset, temporal_split
+from repro.data.vocab import Vocabulary
+
+__all__ = [
+    "ConsumptionSequence",
+    "Dataset",
+    "DatasetStats",
+    "EventRecord",
+    "SplitDataset",
+    "Vocabulary",
+    "load_event_log",
+    "read_events",
+    "save_event_log",
+    "temporal_split",
+    "write_events",
+]

@@ -1,0 +1,152 @@
+"""One user's time-ordered consumption sequence.
+
+A :class:`ConsumptionSequence` is an immutable wrapper around a 1-D int
+array of item indices, ordered by consumption time. Following the paper
+(Section 3), "time" is the discrete position ``t`` in the sequence; the
+wrapper exposes exactly the primitives the window/feature machinery
+needs: slicing, per-item occurrence positions, and last-consumption
+lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+class ConsumptionSequence:
+    """Immutable time-ascending consumption history of a single user.
+
+    Parameters
+    ----------
+    user:
+        Dense user index this sequence belongs to.
+    items:
+        Item indices in consumption order. Repetitions are expected —
+        they are the whole point of the paper.
+
+    Notes
+    -----
+    Positions (``t``) are 0-based throughout the library: ``sequence[0]``
+    is the user's first observed consumption. The paper's 1-based ``x_t``
+    maps to ``sequence[t - 1]``.
+    """
+
+    __slots__ = ("user", "_items", "_positions_of")
+
+    def __init__(self, user: int, items: Sequence[int]) -> None:
+        if user < 0:
+            raise DataError(f"user index must be non-negative, got {user}")
+        array = np.asarray(items, dtype=np.int64)
+        if array.ndim != 1:
+            raise DataError(
+                f"items must be one-dimensional, got shape {array.shape}"
+            )
+        if array.size and array.min() < 0:
+            raise DataError("item indices must be non-negative")
+        array.setflags(write=False)
+        self.user = int(user)
+        self._items = array
+        self._positions_of: Union[Dict[int, List[int]], None] = None
+
+    @property
+    def items(self) -> np.ndarray:
+        """The read-only item-index array."""
+        return self._items
+
+    def __len__(self) -> int:
+        return int(self._items.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items.tolist())
+
+    def __getitem__(self, position: Union[int, slice]) -> Union[int, np.ndarray]:
+        if isinstance(position, slice):
+            return self._items[position]
+        return int(self._items[position])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConsumptionSequence):
+            return NotImplemented
+        return self.user == other.user and np.array_equal(self._items, other._items)
+
+    def __repr__(self) -> str:
+        return f"ConsumptionSequence(user={self.user}, length={len(self)})"
+
+    # ------------------------------------------------------------------
+    # Derived views used by windows and features
+    # ------------------------------------------------------------------
+    def distinct_items(self) -> np.ndarray:
+        """Sorted array of the distinct items this user ever consumed."""
+        return np.unique(self._items)
+
+    def positions_of(self, item: int) -> List[int]:
+        """All positions ``t`` with ``sequence[t] == item`` (ascending)."""
+        return self._positions_index().get(int(item), [])
+
+    def last_position_before(self, item: int, t: int) -> int:
+        """Largest position ``p < t`` with ``sequence[p] == item``.
+
+        This is the paper's ``l_ut(v)`` (Eq 19). Returns ``-1`` when the
+        item was never consumed strictly before ``t``.
+        """
+        positions = self._positions_index().get(int(item))
+        if not positions:
+            return -1
+        # Binary search for the rightmost position < t.
+        lo, hi = 0, len(positions)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if positions[mid] < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return positions[lo - 1] if lo else -1
+
+    def count_before(self, item: int, t: int) -> int:
+        """Number of consumptions of ``item`` at positions ``< t``."""
+        positions = self._positions_index().get(int(item))
+        if not positions:
+            return 0
+        lo, hi = 0, len(positions)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if positions[mid] < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def prefix(self, length: int) -> "ConsumptionSequence":
+        """The first ``length`` consumptions as a new sequence."""
+        if length < 0:
+            raise DataError(f"prefix length must be non-negative, got {length}")
+        return ConsumptionSequence(self.user, self._items[:length])
+
+    def suffix(self, start: int) -> "ConsumptionSequence":
+        """The consumptions from position ``start`` onward."""
+        if start < 0:
+            raise DataError(f"suffix start must be non-negative, got {start}")
+        return ConsumptionSequence(self.user, self._items[start:])
+
+    def concat(self, other: "ConsumptionSequence") -> "ConsumptionSequence":
+        """This sequence followed by ``other`` (same user required)."""
+        if other.user != self.user:
+            raise DataError(
+                f"cannot concatenate sequences of users {self.user} and {other.user}"
+            )
+        return ConsumptionSequence(
+            self.user, np.concatenate([self._items, other._items])
+        )
+
+    def _positions_index(self) -> Dict[int, List[int]]:
+        """Lazily build and cache the item → positions index."""
+        if self._positions_of is None:
+            index: Dict[int, List[int]] = {}
+            for position, item in enumerate(self._items.tolist()):
+                index.setdefault(item, []).append(position)
+            self._positions_of = index
+        return self._positions_of

@@ -1,0 +1,95 @@
+"""Extended dataset statistics beyond the Table 2 summary.
+
+These helpers quantify the repeat-consumption structure of a dataset:
+gap distributions between repeats, per-user repeat ratios, and item
+popularity profiles. They feed the Fig 4 experiment and the synthetic
+generators' self-checks (the generators assert they produced the regime
+they were asked for).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def per_user_repeat_ratio(dataset: Dataset, window_size: int = 100) -> np.ndarray:
+    """Fraction of each user's consumptions that are window repeats.
+
+    Position ``t`` counts as a repeat when its item occurs in the
+    preceding ``window_size`` consumptions. Position 0 is never a repeat
+    but is included in the denominator only from position 1 onward, so a
+    user with fewer than two events gets ratio 0.
+    """
+    ratios = np.zeros(dataset.n_users, dtype=np.float64)
+    for sequence in dataset:
+        items = sequence.items.tolist()
+        if len(items) < 2:
+            continue
+        repeats = 0
+        for t in range(1, len(items)):
+            start = max(0, t - window_size)
+            if items[t] in set(items[start:t]):
+                repeats += 1
+        ratios[sequence.user] = repeats / (len(items) - 1)
+    return ratios
+
+
+def repeat_gap_histogram(dataset: Dataset, max_gap: int = 200) -> np.ndarray:
+    """Histogram of gaps between consecutive consumptions of an item.
+
+    ``result[g]`` counts pairs of same-item consumptions exactly ``g``
+    steps apart within one user's sequence, for ``1 <= g <= max_gap``;
+    index 0 is unused and stays 0. Gaps beyond ``max_gap`` are folded
+    into the last bin.
+    """
+    if max_gap < 1:
+        raise ValueError(f"max_gap must be >= 1, got {max_gap}")
+    histogram = np.zeros(max_gap + 1, dtype=np.int64)
+    for sequence in dataset:
+        last_seen: Dict[int, int] = {}
+        for t, item in enumerate(sequence.items.tolist()):
+            previous = last_seen.get(item)
+            if previous is not None:
+                gap = min(t - previous, max_gap)
+                histogram[gap] += 1
+            last_seen[item] = t
+    return histogram
+
+
+def item_popularity_profile(dataset: Dataset, n_quantiles: int = 10) -> np.ndarray:
+    """Quantiles of the positive item-frequency distribution.
+
+    Returns ``n_quantiles + 1`` values (0%..100%) over items that were
+    consumed at least once; all-zero if nothing was consumed.
+    """
+    frequencies = dataset.item_frequencies()
+    positive = frequencies[frequencies > 0]
+    if positive.size == 0:
+        return np.zeros(n_quantiles + 1, dtype=np.float64)
+    quantiles = np.linspace(0.0, 1.0, n_quantiles + 1)
+    return np.quantile(positive, quantiles)
+
+
+def sequence_length_summary(dataset: Dataset) -> Dict[str, float]:
+    """Min / median / mean / max of per-user sequence lengths."""
+    lengths = np.array([len(s) for s in dataset], dtype=np.float64)
+    if lengths.size == 0:
+        return {"min": 0.0, "median": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": float(lengths.min()),
+        "median": float(np.median(lengths)),
+        "mean": float(lengths.mean()),
+        "max": float(lengths.max()),
+    }
+
+
+def distinct_items_per_user(dataset: Dataset) -> np.ndarray:
+    """Number of distinct items each user ever consumed."""
+    counts = np.zeros(dataset.n_users, dtype=np.int64)
+    for sequence in dataset:
+        counts[sequence.user] = sequence.distinct_items().size
+    return counts

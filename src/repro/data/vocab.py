@@ -1,0 +1,98 @@
+"""Bidirectional mapping between raw ids and dense integer indices.
+
+Raw logs identify users and items with arbitrary hashable ids (strings,
+ints, tuples). All numeric code in the library works on dense
+``0..n-1`` indices so that latent matrices can be plain numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List
+
+from repro.exceptions import VocabularyError
+
+
+class Vocabulary:
+    """An append-only bidirectional id ↔ index mapping.
+
+    Indices are assigned densely in first-seen order, which keeps the
+    mapping deterministic for a given input ordering.
+
+    Examples
+    --------
+    >>> vocab = Vocabulary()
+    >>> vocab.add("song-a")
+    0
+    >>> vocab.add("song-b")
+    1
+    >>> vocab.add("song-a")  # idempotent
+    0
+    >>> vocab.id_of(1)
+    'song-b'
+    """
+
+    __slots__ = ("_index_of", "_ids")
+
+    def __init__(self, ids: Iterable[Hashable] = ()) -> None:
+        self._index_of: Dict[Hashable, int] = {}
+        self._ids: List[Hashable] = []
+        for raw_id in ids:
+            self.add(raw_id)
+
+    def add(self, raw_id: Hashable) -> int:
+        """Insert ``raw_id`` if new and return its dense index."""
+        existing = self._index_of.get(raw_id)
+        if existing is not None:
+            return existing
+        index = len(self._ids)
+        self._index_of[raw_id] = index
+        self._ids.append(raw_id)
+        return index
+
+    def index_of(self, raw_id: Hashable) -> int:
+        """Return the dense index of ``raw_id``.
+
+        Raises
+        ------
+        VocabularyError
+            If ``raw_id`` has never been added.
+        """
+        index = self._index_of.get(raw_id)
+        if index is None:
+            raise VocabularyError(f"unknown id: {raw_id!r}")
+        return index
+
+    def id_of(self, index: int) -> Hashable:
+        """Return the raw id stored at ``index``."""
+        if not 0 <= index < len(self._ids):
+            raise VocabularyError(
+                f"index {index} out of range for vocabulary of size {len(self._ids)}"
+            )
+        return self._ids[index]
+
+    def __contains__(self, raw_id: Hashable) -> bool:
+        return raw_id in self._index_of
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._ids)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._ids == other._ids
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self._ids)})"
+
+    @classmethod
+    def identity(cls, size: int) -> "Vocabulary":
+        """A vocabulary whose raw ids are already ``0..size-1`` ints.
+
+        Convenient for synthetic datasets that are born dense.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        return cls(range(size))

@@ -1,0 +1,27 @@
+"""Evaluation: the paper's accuracy protocol, metrics, and timing.
+
+* :mod:`repro.evaluation.metrics` — P(u) (Eq 22), MaAP@N (Eq 23),
+  MiAP@N (Eq 24);
+* :mod:`repro.evaluation.protocol` — walk each user's test suffix,
+  recommend at every valid RRC target, count hits;
+* :mod:`repro.evaluation.timing` — per-instance online recommendation
+  timing (Fig 13);
+* :mod:`repro.evaluation.reports` — plain-text/markdown table rendering
+  for the experiment harness.
+"""
+
+from repro.evaluation.metrics import AccuracyResult, UserCounts, aggregate_accuracy
+from repro.evaluation.protocol import evaluate_recommender
+from repro.evaluation.timing import OnlineTiming, time_recommender
+from repro.evaluation.reports import format_table, render_markdown_table
+
+__all__ = [
+    "AccuracyResult",
+    "OnlineTiming",
+    "UserCounts",
+    "aggregate_accuracy",
+    "evaluate_recommender",
+    "format_table",
+    "render_markdown_table",
+    "time_recommender",
+]

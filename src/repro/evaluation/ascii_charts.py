@@ -1,0 +1,123 @@
+"""ASCII rendering of figure-style results for terminal output.
+
+The experiment harness reproduces *figures* whose natural form is a
+plot; in a terminal-only environment the next best thing is a compact
+ASCII chart. Two primitives cover the paper's figures:
+
+* :func:`bar_chart` — labelled horizontal bars (Fig 5/6/13-style
+  comparisons);
+* :func:`line_chart` — an x/y grid raster with one symbol per series
+  (Fig 8-12-style sweeps and convergence curves).
+
+Both are deterministic pure functions of their inputs so tests can
+assert exact output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.exceptions import EvaluationError
+
+#: Symbols assigned to series in order.
+SERIES_SYMBOLS = "ox+*#@%&"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    value_format: str = "{:.4f}",
+) -> str:
+    """Horizontal bar chart, one row per label.
+
+    Bars scale to the maximum value; labels left-align, values append.
+
+    >>> print(bar_chart({"Pop": 0.5, "TS-PPR": 1.0}, width=10))
+    Pop     #####       0.5000
+    TS-PPR  ##########  1.0000
+    """
+    if not values:
+        raise EvaluationError("bar_chart needs at least one value")
+    if width <= 0:
+        raise EvaluationError(f"width must be positive, got {width}")
+    numeric = {label: float(value) for label, value in values.items()}
+    if any(value < 0 for value in numeric.values()):
+        raise EvaluationError("bar_chart only renders non-negative values")
+    peak = max(numeric.values())
+    label_width = max(len(label) for label in numeric)
+    lines = []
+    for label, value in numeric.items():
+        length = 0 if peak == 0 else int(round(width * value / peak))
+        bar = "#" * length
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+            f"{value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Raster plot of one or more (x, y) series.
+
+    Each series gets a symbol from :data:`SERIES_SYMBOLS`; overlapping
+    points render the later series' symbol. Axis extremes are printed on
+    the frame, and a legend follows the plot.
+    """
+    if not series:
+        raise EvaluationError("line_chart needs at least one series")
+    if width < 2 or height < 2:
+        raise EvaluationError("width and height must be at least 2")
+    points = [
+        (float(x), float(y))
+        for values in series.values()
+        for x, y in values
+    ]
+    if not points:
+        raise EvaluationError("line_chart received only empty series")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        symbol = SERIES_SYMBOLS[index % len(SERIES_SYMBOLS)]
+        for x, y in values:
+            column = int(round((float(x) - x_low) / x_span * (width - 1)))
+            row = int(round((float(y) - y_low) / y_span * (height - 1)))
+            grid[height - 1 - row][column] = symbol
+
+    lines = [f"y_max={y_high:.4g}"]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(f"y_min={y_low:.4g}  x: {x_low:.4g} .. {x_high:.4g}")
+    for index, name in enumerate(series):
+        symbol = SERIES_SYMBOLS[index % len(SERIES_SYMBOLS)]
+        lines.append(f"  {symbol} = {name}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend glyph string (8 levels), e.g. for r̃ histories.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    blocks = "▁▂▃▄▅▆▇█"
+    values = [float(v) for v in values]
+    if not values:
+        raise EvaluationError("sparkline needs at least one value")
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return blocks[0] * len(values)
+    out = []
+    for value in values:
+        level = int((value - low) / span * (len(blocks) - 1))
+        out.append(blocks[level])
+    return "".join(out)

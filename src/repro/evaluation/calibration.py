@@ -1,0 +1,133 @@
+"""Probability-calibration diagnostics for the STREC switch.
+
+Table 5 conditions TS-PPR on STREC's repeat predictions, so the switch's
+*probability quality* — not just its accuracy — matters: a switch that
+always answers "repeat, p = base rate" has high accuracy on
+repeat-heavy data while carrying zero per-position information (the
+situation EXPERIMENTS.md records as deviation #10). These diagnostics
+make that failure mode measurable:
+
+* :func:`brier_score` — mean squared error of the probabilities;
+* :func:`reliability_curve` — binned predicted-vs-empirical repeat
+  rates;
+* :func:`resolution` — variance of the per-bin empirical rates: exactly
+  0 for a constant (majority-class) switch, positive when predictions
+  actually discriminate between positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.split import SplitDataset
+from repro.exceptions import EvaluationError, NotFittedError
+from repro.models.strec import STRECClassifier
+from repro.windows.window import window_before
+
+
+def collect_switch_probabilities(
+    strec: STRECClassifier,
+    split: SplitDataset,
+    max_positions_per_user: int = 500,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Predicted repeat probabilities and true labels over test positions."""
+    if not strec.is_fitted:
+        raise NotFittedError("collect_switch_probabilities needs a fitted STREC")
+    window_config = strec._window_config  # noqa: SLF001 - same package
+    assert window_config is not None
+    probabilities: List[float] = []
+    labels: List[int] = []
+    for user in range(split.n_users):
+        sequence = split.full_sequence(user)
+        start = split.train_boundary(user)
+        stop = min(len(sequence), start + max_positions_per_user)
+        for t in range(start, stop):
+            view = window_before(sequence, t, window_config.window_size)
+            features = strec.window_features(view)[None, :]
+            probabilities.append(float(strec._model.predict_proba(features)[0]))  # noqa: SLF001
+            labels.append(1 if int(sequence[t]) in view else 0)
+    if not labels:
+        raise EvaluationError("no test positions available for calibration")
+    return np.asarray(probabilities), np.asarray(labels, dtype=np.float64)
+
+
+def brier_score(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean squared error of probabilistic predictions (lower is better)."""
+    probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if probabilities.shape != labels.shape:
+        raise EvaluationError("probabilities and labels must align")
+    if probabilities.size == 0:
+        raise EvaluationError("empty inputs")
+    if np.any((probabilities < 0) | (probabilities > 1)):
+        raise EvaluationError("probabilities must lie in [0, 1]")
+    return float(np.mean((probabilities - labels) ** 2))
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of the reliability curve."""
+
+    lower: float
+    upper: float
+    mean_predicted: float
+    empirical_rate: float
+    count: int
+
+
+def reliability_curve(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    n_bins: int = 10,
+) -> List[ReliabilityBin]:
+    """Binned predicted-vs-empirical rates; empty bins are skipped."""
+    if n_bins < 1:
+        raise EvaluationError(f"n_bins must be >= 1, got {n_bins}")
+    probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if probabilities.shape != labels.shape or probabilities.size == 0:
+        raise EvaluationError("probabilities and labels must align and be non-empty")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: List[ReliabilityBin] = []
+    for index in range(n_bins):
+        lower, upper = edges[index], edges[index + 1]
+        if index == n_bins - 1:
+            mask = (probabilities >= lower) & (probabilities <= upper)
+        else:
+            mask = (probabilities >= lower) & (probabilities < upper)
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        bins.append(
+            ReliabilityBin(
+                lower=float(lower),
+                upper=float(upper),
+                mean_predicted=float(probabilities[mask].mean()),
+                empirical_rate=float(labels[mask].mean()),
+                count=count,
+            )
+        )
+    return bins
+
+
+def resolution(
+    probabilities: np.ndarray,
+    labels: np.ndarray,
+    n_bins: int = 10,
+) -> float:
+    """Murphy-decomposition resolution term.
+
+    Count-weighted variance of the per-bin empirical rates around the
+    base rate. 0 means the switch's probabilities carry no per-position
+    information (the majority-class degeneracy); larger is better.
+    """
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    bins = reliability_curve(probabilities, labels, n_bins)
+    base_rate = float(labels.mean())
+    total = sum(b.count for b in bins)
+    return float(
+        sum(b.count * (b.empirical_rate - base_rate) ** 2 for b in bins) / total
+    )

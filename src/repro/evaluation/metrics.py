@@ -1,0 +1,114 @@
+"""Accuracy metrics: P(u), MaAP@N, MiAP@N.
+
+The paper's naming (Eq 23-24) is the *reverse* of the usual
+macro/micro convention and is kept as-is:
+
+* **MaAP** pools all users — total correct recommendation lists divided
+  by total lists generated. Dominated by long-sequence users.
+* **MiAP** first computes each user's precision ``P(u)`` (Eq 22), then
+  averages over users — insensitive to sequence-length imbalance.
+
+Users with zero evaluation targets have undefined ``P(u)`` and are
+excluded from the MiAP mean (they contribute nothing to MaAP either).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class UserCounts:
+    """Hit/target counts for one user at each cut-off ``N``."""
+
+    n_targets: int
+    hits: Mapping[int, int]
+
+    def __post_init__(self) -> None:
+        if self.n_targets < 0:
+            raise EvaluationError(f"n_targets must be >= 0, got {self.n_targets}")
+        for top_n, count in self.hits.items():
+            if not 0 <= count <= self.n_targets:
+                raise EvaluationError(
+                    f"hits@{top_n} = {count} outside [0, {self.n_targets}]"
+                )
+
+    def precision(self, top_n: int) -> float:
+        """``P(u)`` at cut-off ``top_n`` (Eq 22)."""
+        if self.n_targets == 0:
+            raise EvaluationError("P(u) undefined for a user with no targets")
+        return self.hits[top_n] / self.n_targets
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """MaAP@N and MiAP@N over a set of users."""
+
+    top_ns: Tuple[int, ...]
+    maap: Mapping[int, float]
+    miap: Mapping[int, float]
+    n_users_evaluated: int
+    n_targets_total: int
+
+    def as_rows(self, method: str) -> Dict[str, object]:
+        """One flat result row for table rendering."""
+        row: Dict[str, object] = {"Method": method}
+        for top_n in self.top_ns:
+            row[f"MaAP@{top_n}"] = round(self.maap[top_n], 4)
+        for top_n in self.top_ns:
+            row[f"MiAP@{top_n}"] = round(self.miap[top_n], 4)
+        return row
+
+
+def aggregate_accuracy(
+    per_user: Sequence[UserCounts],
+    top_ns: Sequence[int],
+) -> AccuracyResult:
+    """Compute MaAP/MiAP from per-user counts.
+
+    Raises
+    ------
+    EvaluationError
+        If no user has any evaluation target (metrics undefined).
+    """
+    top_ns = tuple(top_ns)
+    if not top_ns:
+        raise EvaluationError("top_ns must not be empty")
+    evaluated = [counts for counts in per_user if counts.n_targets > 0]
+    if not evaluated:
+        raise EvaluationError("no user has evaluation targets; metrics undefined")
+
+    total_targets = sum(counts.n_targets for counts in evaluated)
+    maap: Dict[int, float] = {}
+    miap: Dict[int, float] = {}
+    for top_n in top_ns:
+        total_hits = sum(counts.hits[top_n] for counts in evaluated)
+        maap[top_n] = total_hits / total_targets
+        miap[top_n] = sum(counts.precision(top_n) for counts in evaluated) / len(
+            evaluated
+        )
+    return AccuracyResult(
+        top_ns=top_ns,
+        maap=maap,
+        miap=miap,
+        n_users_evaluated=len(evaluated),
+        n_targets_total=total_targets,
+    )
+
+
+def relative_improvement(candidate: float, best_baseline: float) -> float:
+    """Relative improvement (Table 3): ``(candidate − best) / best``.
+
+    Raises
+    ------
+    EvaluationError
+        If the baseline value is not positive.
+    """
+    if best_baseline <= 0:
+        raise EvaluationError(
+            f"relative improvement undefined for baseline {best_baseline}"
+        )
+    return (candidate - best_baseline) / best_baseline

@@ -1,0 +1,86 @@
+"""Plain-text and markdown rendering of experiment result tables.
+
+The experiment harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output aligned and
+copy-pasteable into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Fixed-width text table from dict rows (union of keys as columns)."""
+    if not rows:
+        return "(empty table)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(
+            len(column),
+            max(len(_stringify(row.get(column, ""))) for row in rows),
+        )
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    rule = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _stringify(row.get(column, "")).ljust(widths[column])
+                for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_markdown_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """GitHub-flavoured markdown table from dict rows."""
+    if not rows:
+        return "(empty table)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(_stringify(row.get(column, "")) for column in columns)
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A labelled (x, y) series as an aligned two-column block.
+
+    Used for figure-style outputs (sweeps, convergence curves).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+    rows: List[Dict[str, object]] = [
+        {x_label: x, y_label: y} for x, y in zip(xs, ys)
+    ]
+    return f"# {name}\n" + format_table(rows)

@@ -1,0 +1,147 @@
+"""Statistical comparison of recommenders.
+
+Single-number MaAP/MiAP differences can be noise; this module provides
+the two standard nonparametric checks over the *per-target hit vectors*
+of two models evaluated on the same targets:
+
+* :func:`paired_bootstrap` — bootstrap distribution of the mean
+  difference in hit rate; reports the observed difference, a confidence
+  interval, and the fraction of resamples where model A wins;
+* :func:`permutation_test` — sign-flip permutation p-value for the null
+  hypothesis "both models have the same expected hit rate".
+
+:func:`collect_hit_vectors` walks the RRC evaluation protocol once per
+model over an identical target list, so the comparisons are properly
+paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import EvaluationConfig
+from repro.data.split import SplitDataset
+from repro.exceptions import EvaluationError
+from repro.models.base import Recommender
+from repro.rng import RandomState, ensure_rng
+from repro.windows.repeat import iter_evaluation_positions
+
+
+def collect_hit_vectors(
+    models: List[Recommender],
+    split: SplitDataset,
+    top_n: int = 10,
+    config: Optional[EvaluationConfig] = None,
+) -> np.ndarray:
+    """Per-target hit indicators for each model; shape (n_models, n_targets).
+
+    Target ``j`` is the same evaluation position for every model, so
+    columns are paired observations.
+    """
+    if not models:
+        raise EvaluationError("need at least one model")
+    config = config or EvaluationConfig()
+    window = config.window
+    rows: List[List[float]] = [[] for _ in models]
+    for user in range(split.n_users):
+        sequence = split.full_sequence(user)
+        for t, candidates in iter_evaluation_positions(
+            sequence,
+            split.train_boundary(user),
+            window.window_size,
+            window.min_gap,
+        ):
+            truth = int(sequence[t])
+            for row, model in zip(rows, models):
+                ranked = model.recommend(sequence, candidates, t, top_n)
+                row.append(1.0 if truth in ranked else 0.0)
+    matrix = np.asarray(rows, dtype=np.float64)
+    if matrix.size == 0 or matrix.shape[1] == 0:
+        raise EvaluationError("no evaluation targets found")
+    return matrix
+
+
+@dataclass(frozen=True)
+class BootstrapComparison:
+    """Outcome of :func:`paired_bootstrap`."""
+
+    observed_difference: float
+    ci_low: float
+    ci_high: float
+    win_probability: float
+    n_targets: int
+    n_resamples: int
+
+    @property
+    def significant(self) -> bool:
+        """Whether the confidence interval excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+
+def paired_bootstrap(
+    hits_a: np.ndarray,
+    hits_b: np.ndarray,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    random_state: RandomState = None,
+) -> BootstrapComparison:
+    """Bootstrap the mean paired difference ``hits_a − hits_b``."""
+    hits_a = np.asarray(hits_a, dtype=np.float64).ravel()
+    hits_b = np.asarray(hits_b, dtype=np.float64).ravel()
+    if hits_a.shape != hits_b.shape:
+        raise EvaluationError("hit vectors must have identical length")
+    if hits_a.size == 0:
+        raise EvaluationError("hit vectors are empty")
+    if not 0 < confidence < 1:
+        raise EvaluationError(f"confidence must lie in (0, 1), got {confidence}")
+    if n_resamples <= 0:
+        raise EvaluationError(f"n_resamples must be positive, got {n_resamples}")
+
+    rng = ensure_rng(random_state)
+    differences = hits_a - hits_b
+    n = differences.size
+    indices = rng.integers(n, size=(n_resamples, n))
+    resampled_means = differences[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resampled_means, [alpha, 1.0 - alpha])
+    return BootstrapComparison(
+        observed_difference=float(differences.mean()),
+        ci_low=float(low),
+        ci_high=float(high),
+        win_probability=float((resampled_means > 0).mean()),
+        n_targets=n,
+        n_resamples=n_resamples,
+    )
+
+
+def permutation_test(
+    hits_a: np.ndarray,
+    hits_b: np.ndarray,
+    n_permutations: int = 2000,
+    random_state: RandomState = None,
+) -> float:
+    """Two-sided sign-flip permutation p-value for the paired difference.
+
+    Under the null, each paired difference is symmetric around zero, so
+    flipping signs uniformly generates the null distribution of the mean.
+    """
+    hits_a = np.asarray(hits_a, dtype=np.float64).ravel()
+    hits_b = np.asarray(hits_b, dtype=np.float64).ravel()
+    if hits_a.shape != hits_b.shape:
+        raise EvaluationError("hit vectors must have identical length")
+    if hits_a.size == 0:
+        raise EvaluationError("hit vectors are empty")
+    if n_permutations <= 0:
+        raise EvaluationError(
+            f"n_permutations must be positive, got {n_permutations}"
+        )
+    rng = ensure_rng(random_state)
+    differences = hits_a - hits_b
+    observed = abs(differences.mean())
+    signs = rng.choice([-1.0, 1.0], size=(n_permutations, differences.size))
+    null_means = np.abs((signs * differences).mean(axis=1))
+    # Add-one smoothing keeps the p-value strictly positive.
+    return float((1 + (null_means >= observed - 1e-15).sum()) / (1 + n_permutations))

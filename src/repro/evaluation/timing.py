@@ -1,0 +1,98 @@
+"""Online recommendation timing (Fig 13).
+
+Measures the average wall-clock time of a single ``recommend`` call —
+one "instance" in the paper's terms — over a sample of real evaluation
+positions, reported in milliseconds. Results are averaged over several
+trials like the paper's ("data is reported by averaging results on 3
+trials each").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import EvaluationConfig
+from repro.data.split import SplitDataset
+from repro.exceptions import EvaluationError
+from repro.models.base import Recommender
+from repro.windows.repeat import iter_evaluation_positions
+
+
+@dataclass(frozen=True)
+class OnlineTiming:
+    """Per-instance online recommendation timing for one method."""
+
+    method: str
+    mean_ms: float
+    n_instances: int
+    n_trials: int
+
+
+def collect_timing_instances(
+    split: SplitDataset,
+    config: Optional[EvaluationConfig] = None,
+    max_instances: int = 500,
+) -> List[Tuple[int, int, List[int]]]:
+    """Sample ``(user, t, candidates)`` evaluation instances for timing.
+
+    Instances are taken round-robin across users (in user order) so one
+    very long user cannot dominate the measurement.
+    """
+    config = config or EvaluationConfig()
+    per_user: List[List[Tuple[int, int, List[int]]]] = []
+    for user in range(split.n_users):
+        rows = [
+            (user, t, candidates)
+            for t, candidates in iter_evaluation_positions(
+                split.full_sequence(user),
+                split.train_boundary(user),
+                config.window.window_size,
+                config.window.min_gap,
+            )
+        ]
+        if rows:
+            per_user.append(rows)
+    instances: List[Tuple[int, int, List[int]]] = []
+    depth = 0
+    while len(instances) < max_instances and any(depth < len(r) for r in per_user):
+        for rows in per_user:
+            if depth < len(rows):
+                instances.append(rows[depth])
+                if len(instances) >= max_instances:
+                    break
+        depth += 1
+    if not instances:
+        raise EvaluationError("no evaluation instances available for timing")
+    return instances
+
+
+def time_recommender(
+    model: Recommender,
+    split: SplitDataset,
+    instances: Optional[List[Tuple[int, int, List[int]]]] = None,
+    config: Optional[EvaluationConfig] = None,
+    top_n: int = 10,
+    n_trials: int = 3,
+) -> OnlineTiming:
+    """Average per-instance ``recommend`` latency in milliseconds."""
+    config = config or EvaluationConfig()
+    if instances is None:
+        instances = collect_timing_instances(split, config)
+    sequences = {user: split.full_sequence(user) for user, _, _ in instances}
+
+    trial_means: List[float] = []
+    for _ in range(n_trials):
+        start = time.perf_counter()
+        for user, t, candidates in instances:
+            model.recommend(sequences[user], candidates, t, top_n)
+        elapsed = time.perf_counter() - start
+        trial_means.append(elapsed / len(instances))
+    mean_ms = 1000.0 * sum(trial_means) / len(trial_means)
+    return OnlineTiming(
+        method=model.name,
+        mean_ms=mean_ms,
+        n_instances=len(instances),
+        n_trials=n_trials,
+    )

@@ -1,0 +1,40 @@
+"""Experiment harness: one runner per paper table/figure.
+
+Every experiment module exposes ``run(scale) -> ExperimentResult``;
+:mod:`repro.experiments.registry` maps paper artifact ids (``"fig5"``,
+``"table3"``, ...) to those runners; the CLI and the benchmark suite are
+thin wrappers around the registry.
+
+Heavy intermediate products (datasets, splits, fitted models, shared
+accuracy runs) are cached per ``(experiment scale, dataset)`` inside
+:mod:`repro.experiments.common`, so e.g. fig5, fig6 and table3 share a
+single training run.
+"""
+
+from repro.experiments.common import (
+    FAST_SCALE,
+    FULL_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    build_split,
+    clear_caches,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentScale",
+    "FAST_SCALE",
+    "FULL_SCALE",
+    "SMOKE_SCALE",
+    "available_experiments",
+    "build_split",
+    "clear_caches",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,81 @@
+"""Fig 5 & Fig 6 — MaAP@N and MiAP@N of every method on both datasets.
+
+One shared training/evaluation run (cached in
+:func:`repro.experiments.common.accuracy_run`) feeds both figures and
+Table 3. Methods: Random, Pop, Recency, FPMC, Survival, DYRC, TS-PPR,
+with ``Ω = 10`` and ``S = 10`` as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.experiments.common import (
+    BASELINE_ORDER,
+    DATASET_KEYS,
+    ExperimentScale,
+    accuracy_run,
+    dataset_title,
+)
+from repro.experiments.registry import ExperimentResult, register_experiment
+
+
+def _accuracy_rows(scale: ExperimentScale, metric: str) -> List[Mapping[str, object]]:
+    rows: List[Mapping[str, object]] = []
+    for dataset_key in DATASET_KEYS:
+        results = accuracy_run(dataset_key, scale)
+        for method in BASELINE_ORDER:
+            accuracy = results[method]
+            values = accuracy.maap if metric == "MaAP" else accuracy.miap
+            rows.append(
+                {
+                    "Data set": dataset_title(dataset_key),
+                    "Method": method,
+                    **{
+                        f"{metric}@{top_n}": round(values[top_n], 4)
+                        for top_n in accuracy.top_ns
+                    },
+                }
+            )
+    return rows
+
+
+def _winner_notes(scale: ExperimentScale, metric: str) -> List[str]:
+    notes: List[str] = []
+    for dataset_key in DATASET_KEYS:
+        results = accuracy_run(dataset_key, scale)
+        for top_n in (1, 5, 10):
+            scores = {
+                method: (
+                    results[method].maap[top_n]
+                    if metric == "MaAP"
+                    else results[method].miap[top_n]
+                )
+                for method in BASELINE_ORDER
+            }
+            winner = max(scores, key=scores.get)  # type: ignore[arg-type]
+            notes.append(
+                f"{dataset_title(dataset_key)} {metric}@{top_n}: best = {winner} "
+                f"({scores[winner]:.4f})"
+            )
+    return notes
+
+
+@register_experiment("fig5", "Macro average precision of all methods (Ω=10, S=10)")
+def run_fig5(scale: ExperimentScale) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Macro average precision of all methods (Ω=10, S=10)",
+        rows=tuple(_accuracy_rows(scale, "MaAP")),
+        notes=tuple(_winner_notes(scale, "MaAP")),
+    )
+
+
+@register_experiment("fig6", "Micro average precision of all methods (Ω=10, S=10)")
+def run_fig6(scale: ExperimentScale) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Micro average precision of all methods (Ω=10, S=10)",
+        rows=tuple(_accuracy_rows(scale, "MiAP")),
+        notes=tuple(_winner_notes(scale, "MiAP")),
+    )

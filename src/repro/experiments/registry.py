@@ -1,0 +1,120 @@
+"""Registry mapping paper artifacts (tables/figures) to runners.
+
+Experiment modules register a ``run(scale) -> ExperimentResult`` runner
+under the artifact's id (``"fig5"``, ``"table3"``, ...). The CLI and the
+benchmark suite resolve runners through this registry, so the set of
+reproducible artifacts is discoverable in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.evaluation.reports import format_table
+from repro.exceptions import ExperimentError
+from repro.experiments.common import ExperimentScale
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """What an experiment runner produces.
+
+    Attributes
+    ----------
+    experiment_id:
+        The paper artifact id ("fig5", "table3", ...).
+    title:
+        Human-readable description matching the paper caption.
+    rows:
+        Table-style results (list of dict rows).
+    series:
+        Figure-style results: name → list of (x, y) points.
+    notes:
+        Free-form remarks (e.g. which shape checks passed).
+    """
+
+    experiment_id: str
+    title: str
+    rows: Tuple[Mapping[str, object], ...] = ()
+    series: Mapping[str, Tuple[Tuple[object, float], ...]] = field(
+        default_factory=dict
+    )
+    notes: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        """Plain-text rendering: title, table, series, notes."""
+        blocks: List[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            blocks.append(format_table(list(self.rows)))
+        for name, points in self.series.items():
+            lines = [f"-- {name} --"]
+            for x, y in points:
+                lines.append(f"  {x}: {y:.4f}")
+            blocks.append("\n".join(lines))
+        if self.notes:
+            blocks.append("\n".join(f"note: {note}" for note in self.notes))
+        return "\n\n".join(blocks)
+
+
+Runner = Callable[[ExperimentScale], ExperimentResult]
+
+_RUNNERS: Dict[str, Tuple[str, Runner]] = {}
+
+
+def register_experiment(experiment_id: str, title: str) -> Callable[[Runner], Runner]:
+    """Decorator registering ``run`` under a paper artifact id."""
+
+    def decorate(runner: Runner) -> Runner:
+        if experiment_id in _RUNNERS:
+            raise ExperimentError(f"experiment {experiment_id!r} already registered")
+        _RUNNERS[experiment_id] = (title, runner)
+        return runner
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module so registrations run."""
+    # Imports are local to avoid circular imports at package load time.
+    from repro.experiments import (  # noqa: F401
+        fig4_distributions,
+        fig5_6_accuracy,
+        fig7_feature_importance,
+        fig8_regularization,
+        fig9_latent_dim,
+        fig10_negative_samples,
+        fig11_min_gap,
+        fig12_convergence,
+        fig13_timing,
+        table2_stats,
+        table3_improvement,
+        table4_defaults,
+        table5_strec_combo,
+    )
+
+
+def available_experiments() -> List[str]:
+    """Sorted ids of every registered experiment."""
+    _ensure_loaded()
+    return sorted(_RUNNERS)
+
+
+def get_experiment(experiment_id: str) -> Tuple[str, Runner]:
+    """The (title, runner) pair for an artifact id."""
+    _ensure_loaded()
+    try:
+        return _RUNNERS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{available_experiments()}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, scale: ExperimentScale
+) -> ExperimentResult:
+    """Run one experiment at the given scale."""
+    _, runner = get_experiment(experiment_id)
+    return runner(scale)

@@ -1,0 +1,90 @@
+"""Persisting experiment results as JSON.
+
+`repro-experiments run ... --json-dir DIR` (and programmatic callers)
+can archive every :class:`~repro.experiments.registry.ExperimentResult`
+as a JSON document, so evidence runs are diffable and machine-readable
+(EXPERIMENTS.md's numbers are extracted from such archives).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import ExperimentResult
+
+#: Schema version of the JSON document.
+STORAGE_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> Dict:
+    """The JSON-serializable form of a result."""
+    return {
+        "storage_version": STORAGE_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "rows": [dict(row) for row in result.rows],
+        "series": {
+            name: [[x, y] for x, y in points]
+            for name, points in result.series.items()
+        },
+        "notes": list(result.notes),
+    }
+
+
+def result_from_dict(payload: Dict) -> ExperimentResult:
+    """Rebuild a result from its JSON form.
+
+    Raises
+    ------
+    ExperimentError
+        On schema-version mismatch or missing fields.
+    """
+    if payload.get("storage_version") != STORAGE_VERSION:
+        raise ExperimentError(
+            f"unsupported result storage version "
+            f"{payload.get('storage_version')!r}"
+        )
+    try:
+        return ExperimentResult(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            rows=tuple(payload["rows"]),
+            series={
+                name: tuple((x, float(y)) for x, y in points)
+                for name, points in payload["series"].items()
+            },
+            notes=tuple(payload["notes"]),
+        )
+    except KeyError as exc:
+        raise ExperimentError(f"result document missing field {exc}") from exc
+
+
+def save_result(result: ExperimentResult, directory: Union[str, Path]) -> Path:
+    """Write ``<directory>/<experiment_id>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.json"
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Read one archived result document."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no result document at {path}")
+    return result_from_dict(json.loads(path.read_text()))
+
+
+def load_results_dir(directory: Union[str, Path]) -> List[ExperimentResult]:
+    """Load every ``*.json`` result in a directory, sorted by id."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ExperimentError(f"{directory} is not a directory")
+    results = [
+        load_result(path) for path in sorted(directory.glob("*.json"))
+    ]
+    return sorted(results, key=lambda result: result.experiment_id)

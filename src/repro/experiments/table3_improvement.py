@@ -1,0 +1,62 @@
+"""Table 3 — relative precision improvement of TS-PPR over the best baseline.
+
+``improvement = (TS-PPR − best_baseline) / best_baseline`` per metric,
+cut-off, and dataset; a ``\\`` entry (as in the paper's Lastfm Top-1
+cells) marks cut-offs where TS-PPR is *not* the best method.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.evaluation.metrics import relative_improvement
+from repro.experiments.common import (
+    BASELINE_ORDER,
+    DATASET_KEYS,
+    ExperimentScale,
+    accuracy_run,
+    dataset_title,
+)
+from repro.experiments.registry import ExperimentResult, register_experiment
+
+_BASELINES = tuple(m for m in BASELINE_ORDER if m != "TS-PPR")
+
+
+def improvement_cell(
+    results, metric: str, top_n: int
+) -> str:
+    """One Table 3 cell: percentage string, or ``\\`` when TS-PPR loses."""
+    values = {
+        method: (
+            results[method].maap[top_n]
+            if metric == "MaAP"
+            else results[method].miap[top_n]
+        )
+        for method in BASELINE_ORDER
+    }
+    best_baseline = max(values[m] for m in _BASELINES)
+    ours = values["TS-PPR"]
+    if ours <= best_baseline:
+        return "\\"
+    return f"{100 * relative_improvement(ours, best_baseline):.0f}%"
+
+
+@register_experiment(
+    "table3", "Relative precision improvement of TS-PPR over the best baseline"
+)
+def run(scale: ExperimentScale) -> ExperimentResult:
+    rows: List[Mapping[str, object]] = []
+    for dataset_key in DATASET_KEYS:
+        results = accuracy_run(dataset_key, scale)
+        row: dict = {"Data set": dataset_title(dataset_key)}
+        for metric in ("MaAP", "MiAP"):
+            for top_n in (1, 5, 10):
+                row[f"{metric} Top-{top_n}"] = improvement_cell(
+                    results, metric, top_n
+                )
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Relative precision improvement of TS-PPR over the best baseline",
+        rows=tuple(rows),
+    )

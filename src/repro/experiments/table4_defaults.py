@@ -1,0 +1,43 @@
+"""Table 4 — default settings of parameters.
+
+A configuration record rather than a measurement: the per-dataset
+defaults baked into :func:`repro.config.gowalla_default_config` /
+:func:`repro.config.lastfm_default_config`, printed in the paper's
+layout so EXPERIMENTS.md can diff them against Table 4 directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.config import gowalla_default_config, lastfm_default_config
+from repro.experiments.common import ExperimentScale
+from repro.experiments.registry import ExperimentResult, register_experiment
+
+
+@register_experiment("table4", "Default settings of parameters")
+def run(scale: ExperimentScale) -> ExperimentResult:
+    rows: List[Mapping[str, object]] = []
+    for name, config in (
+        ("Gowalla", gowalla_default_config()),
+        ("Lastfm", lastfm_default_config()),
+    ):
+        rows.append(
+            {
+                "Data set": name,
+                "λ": config.lambda_mapping,
+                "γ": config.gamma_latent,
+                "K": config.n_factors,
+                "S": config.n_negative_samples,
+                "Ω": 10,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Default settings of parameters",
+        rows=tuple(rows),
+        notes=(
+            "Ω lives in WindowConfig (default 10); the other four are "
+            "TSPPRConfig fields.",
+        ),
+    )

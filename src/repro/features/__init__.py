@@ -1,0 +1,41 @@
+"""Time-sensitive behavioural features (Section 4.4 of the paper).
+
+The feature vector fed to TS-PPR is
+
+``f_uvt = (q̄_v, r_v, c_vt, m_vt)``
+
+* ``q̄_v`` — normalized item quality, Eq (16)-(17);
+* ``r_v`` — item reconsumption ratio, Eq (18);
+* ``c_vt`` — recency, hyperbolic Eq (19) (default) or exponential Eq (20);
+* ``m_vt`` — dynamic familiarity, Eq (21).
+
+All four are domain-independent and normalized into ``[0, 1]``. The
+subsystem is extensible: implement
+:class:`~repro.features.base.FeatureExtractor` and register it with
+:func:`~repro.features.base.register_feature` to append domain-specific
+features, exactly as the paper suggests.
+"""
+
+from repro.features.base import (
+    FeatureExtractor,
+    available_features,
+    create_feature,
+    register_feature,
+)
+from repro.features.dynamic import DynamicFamiliarityFeature, RecencyFeature
+from repro.features.static import ItemQualityFeature, ReconsumptionRatioFeature
+from repro.features.vectorizer import BehavioralFeatureModel
+from repro.features.cache import QuadrupleFeatureCache
+
+__all__ = [
+    "BehavioralFeatureModel",
+    "DynamicFamiliarityFeature",
+    "FeatureExtractor",
+    "ItemQualityFeature",
+    "QuadrupleFeatureCache",
+    "RecencyFeature",
+    "ReconsumptionRatioFeature",
+    "available_features",
+    "create_feature",
+    "register_feature",
+]

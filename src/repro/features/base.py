@@ -1,0 +1,92 @@
+"""Feature-extractor interface and registry.
+
+A :class:`FeatureExtractor` produces one scalar per ``(user, item, t)``
+query. Static extractors (item quality, reconsumption ratio) learn their
+lookup tables from the *training* dataset in :meth:`fit`; dynamic ones
+(recency, familiarity) compute from the query's window at call time.
+
+The registry lets callers name features in configuration
+(``TSPPRConfig.feature_names``) and lets downstream users plug in
+domain-specific features without touching library code.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List
+
+from repro.config import WindowConfig
+from repro.data.dataset import Dataset
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import FeatureError
+from repro.windows.window import WindowView
+
+
+class FeatureExtractor(ABC):
+    """One scalar behavioural feature, normalized into ``[0, 1]``."""
+
+    #: Canonical feature name; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def fit(self, train_dataset: Dataset, window: WindowConfig) -> "FeatureExtractor":
+        """Learn any lookup tables from the training data; return self."""
+
+    @abstractmethod
+    def value(
+        self,
+        sequence: ConsumptionSequence,
+        item: int,
+        t: int,
+        window: WindowView,
+    ) -> float:
+        """The feature value for ``(user=sequence.user, item, t)``.
+
+        ``window`` is the window *before* position ``t``; callers pass it
+        in so a batch of items at one ``t`` shares a single view.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: Dict[str, Callable[[], FeatureExtractor]] = {}
+
+
+def register_feature(
+    name: str,
+    factory: Callable[[], FeatureExtractor],
+    overwrite: bool = False,
+) -> None:
+    """Register ``factory`` under ``name`` for config-driven creation.
+
+    Raises
+    ------
+    FeatureError
+        If ``name`` is taken and ``overwrite`` is false.
+    """
+    if not name:
+        raise FeatureError("feature name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise FeatureError(f"feature {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def unregister_feature(name: str) -> None:
+    """Remove ``name`` from the registry (missing names are ignored)."""
+    _REGISTRY.pop(name, None)
+
+
+def create_feature(name: str) -> FeatureExtractor:
+    """Instantiate the registered extractor called ``name``."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise FeatureError(
+            f"unknown feature {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return factory()
+
+
+def available_features() -> List[str]:
+    """Sorted names of all registered features."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,94 @@
+"""Dynamic behavioural features: recency and dynamic familiarity.
+
+Both are pure functions of the user's history before the query position;
+:meth:`fit` only records configuration.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import WindowConfig
+from repro.data.dataset import Dataset
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import FeatureError
+from repro.features.base import FeatureExtractor, register_feature
+from repro.windows.window import WindowView
+
+
+def hyperbolic_recency(gap: int) -> float:
+    """``c_vt = 1 / (t - l_ut(v))`` (Eq 19) for a positive gap."""
+    if gap <= 0:
+        raise FeatureError(f"recency gap must be positive, got {gap}")
+    return 1.0 / gap
+
+
+def exponential_recency(gap: int) -> float:
+    """``c_vt = e^{-(t - l_ut(v))}`` (Eq 20) for a positive gap."""
+    if gap <= 0:
+        raise FeatureError(f"recency gap must be positive, got {gap}")
+    return math.exp(-gap)
+
+
+class RecencyFeature(FeatureExtractor):
+    """``c_vt``: time-decaying interest in a previously consumed item.
+
+    Parameters
+    ----------
+    kind:
+        ``"hyperbolic"`` (Eq 19; the paper's choice, following the
+        finding in its Ref. [14] that hyperbolic decay fits interest
+        forgetting best) or ``"exponential"`` (Eq 20).
+
+    An item never consumed before ``t`` has recency 0 (no decaying
+    interest exists yet).
+    """
+
+    name = "recency"
+
+    def __init__(self, kind: str = "hyperbolic") -> None:
+        if kind not in ("hyperbolic", "exponential"):
+            raise FeatureError(
+                f"recency kind must be 'hyperbolic' or 'exponential', got {kind!r}"
+            )
+        self.kind = kind
+        self._decay = hyperbolic_recency if kind == "hyperbolic" else exponential_recency
+
+    def fit(self, train_dataset: Dataset, window: WindowConfig) -> "RecencyFeature":
+        return self
+
+    def value(
+        self,
+        sequence: ConsumptionSequence,
+        item: int,
+        t: int,
+        window: WindowView,
+    ) -> float:
+        last = sequence.last_position_before(item, t)
+        if last < 0:
+            return 0.0
+        return self._decay(t - last)
+
+
+class DynamicFamiliarityFeature(FeatureExtractor):
+    """``m_vt``: fraction of the current window occupied by the item (Eq 21)."""
+
+    name = "dynamic_familiarity"
+
+    def fit(
+        self, train_dataset: Dataset, window: WindowConfig
+    ) -> "DynamicFamiliarityFeature":
+        return self
+
+    def value(
+        self,
+        sequence: ConsumptionSequence,
+        item: int,
+        t: int,
+        window: WindowView,
+    ) -> float:
+        return window.familiarity(item)
+
+
+register_feature(RecencyFeature.name, RecencyFeature)
+register_feature(DynamicFamiliarityFeature.name, DynamicFamiliarityFeature)

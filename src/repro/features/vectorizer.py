@@ -1,0 +1,145 @@
+"""Assembling individual features into the vector ``f_uvt``.
+
+:class:`BehavioralFeatureModel` is the object models interact with: fit
+it once on the training dataset, then query feature vectors (or whole
+candidate matrices) at recommendation or sampling time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import WindowConfig
+from repro.data.dataset import Dataset
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import NotFittedError
+from repro.features.base import FeatureExtractor, create_feature
+from repro.features.dynamic import RecencyFeature
+from repro.windows.window import WindowView, window_before
+
+
+class BehavioralFeatureModel:
+    """The observable feature map ``(u, v, t) → f_uvt ∈ [0, 1]^F``.
+
+    Parameters
+    ----------
+    feature_names:
+        Which features compose the vector, in order. Defaults to the
+        paper's four. Names must be registered (see
+        :func:`repro.features.base.register_feature`).
+    recency_kind:
+        Passed to the recency feature if it is among ``feature_names``:
+        ``"hyperbolic"`` (Eq 19) or ``"exponential"`` (Eq 20).
+    extractors:
+        Alternatively, pre-built extractor instances; overrides
+        ``feature_names``.
+    """
+
+    def __init__(
+        self,
+        feature_names: Optional[Sequence[str]] = None,
+        recency_kind: str = "hyperbolic",
+        extractors: Optional[Sequence[FeatureExtractor]] = None,
+    ) -> None:
+        if extractors is not None:
+            self._extractors: List[FeatureExtractor] = list(extractors)
+        else:
+            if feature_names is None:
+                feature_names = (
+                    "item_quality",
+                    "item_reconsumption_ratio",
+                    "recency",
+                    "dynamic_familiarity",
+                )
+            self._extractors = [
+                RecencyFeature(recency_kind) if name == RecencyFeature.name
+                else create_feature(name)
+                for name in feature_names
+            ]
+        self._window_config: Optional[WindowConfig] = None
+
+    @property
+    def feature_names(self) -> Tuple[str, ...]:
+        return tuple(extractor.name for extractor in self._extractors)
+
+    @property
+    def n_features(self) -> int:
+        """``F`` — the observable feature dimension."""
+        return len(self._extractors)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._window_config is not None
+
+    @property
+    def window_config(self) -> WindowConfig:
+        if self._window_config is None:
+            raise NotFittedError("BehavioralFeatureModel not fitted")
+        return self._window_config
+
+    def fit(
+        self,
+        train_dataset: Dataset,
+        window: Optional[WindowConfig] = None,
+    ) -> "BehavioralFeatureModel":
+        """Fit every static feature on the training dataset."""
+        window = window or WindowConfig()
+        for extractor in self._extractors:
+            extractor.fit(train_dataset, window)
+        self._window_config = window
+        return self
+
+    def extractor(self, name: str) -> FeatureExtractor:
+        """Access one of the composed extractors by name."""
+        for candidate in self._extractors:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no extractor named {name!r} in {self.feature_names}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def vector(
+        self,
+        sequence: ConsumptionSequence,
+        item: int,
+        t: int,
+        window: Optional[WindowView] = None,
+    ) -> np.ndarray:
+        """The feature vector ``f_uvt`` for one item at position ``t``."""
+        if self._window_config is None:
+            raise NotFittedError("BehavioralFeatureModel.vector called before fit")
+        if window is None:
+            window = window_before(sequence, t, self._window_config.window_size)
+        return np.array(
+            [ex.value(sequence, item, t, window) for ex in self._extractors],
+            dtype=np.float64,
+        )
+
+    def matrix(
+        self,
+        sequence: ConsumptionSequence,
+        items: Sequence[int],
+        t: int,
+        window: Optional[WindowView] = None,
+    ) -> np.ndarray:
+        """Feature vectors for many items at one position; shape (n, F).
+
+        Sharing the window view across items makes this the fast path for
+        scoring a whole candidate set.
+        """
+        if self._window_config is None:
+            raise NotFittedError("BehavioralFeatureModel.matrix called before fit")
+        if window is None:
+            window = window_before(sequence, t, self._window_config.window_size)
+        rows = np.empty((len(items), self.n_features), dtype=np.float64)
+        for row, item in enumerate(items):
+            for column, extractor in enumerate(self._extractors):
+                rows[row, column] = extractor.value(sequence, int(item), t, window)
+        return rows
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"BehavioralFeatureModel(features={list(self.feature_names)}, {state})"

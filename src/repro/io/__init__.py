@@ -1,0 +1,14 @@
+"""Model persistence.
+
+Fitted recommenders are plain numpy arrays plus a little configuration,
+so they serialize to a directory holding an ``npz`` archive and a JSON
+manifest. :func:`~repro.io.model_store.save_model` /
+:func:`~repro.io.model_store.load_model` round-trip TS-PPR (RRC and
+novel variants), PPR, FPMC, and Pop; the stateless baselines (Random,
+Recency) need no persistence, and Survival/DYRC/STREC expose their own
+small parameter sets through public attributes.
+"""
+
+from repro.io.model_store import load_model, save_model
+
+__all__ = ["load_model", "save_model"]

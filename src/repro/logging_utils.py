@@ -1,0 +1,51 @@
+"""Logging helpers.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace and never configures the root logger — applications
+stay in control of handlers and levels. :func:`enable_console_logging` is
+a convenience for scripts and the CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("models.tsppr")`` yields the ``repro.models.tsppr``
+    logger; ``get_logger()`` yields the package root logger.
+    """
+    if name is None:
+        return logging.getLogger("repro")
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a single stream handler to the package logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger
+
+
+@contextmanager
+def log_duration(logger: logging.Logger, label: str) -> Iterator[None]:
+    """Log how long the enclosed block took, at DEBUG level."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        logger.debug("%s took %.3fs", label, elapsed)

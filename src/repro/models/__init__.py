@@ -1,0 +1,46 @@
+"""Recommenders: TS-PPR and every baseline of Section 5.2.
+
+===========  ==============================================================
+Model        Summary
+===========  ==============================================================
+TS-PPR       The paper's contribution: time-sensitive personalized
+             pairwise ranking over behavioural features (Section 4).
+PPR          Static Bayesian personalized pairwise ranking (Eq 1-4);
+             included to show why time-insensitivity fails on RRC.
+Random       Uniform choice from the candidate window.
+Pop          Rank by global item popularity ``ln(1 + n_v)``.
+Recency      Rank by exponential recency ``e^{−Δt_uv}``.
+FPMC         Factorized personalized Markov chains adapted to
+             window → item transitions (Rendle et al., WWW'10).
+Survival     Cox proportional-hazards return-time model
+             (Kapoor et al., KDD'14) on our own Cox implementation.
+DYRC         Mixed weighted quality/recency model
+             (Anderson et al., WWW'14), learned by likelihood ascent.
+STREC        Repeat-vs-novel switch (Chen et al., AAAI'15) used by the
+             Table 5 combination experiment.
+===========  ==============================================================
+"""
+
+from repro.models.base import Recommender
+from repro.models.dyrc import DYRCRecommender
+from repro.models.fpmc import FPMCRecommender
+from repro.models.pop import PopRecommender
+from repro.models.ppr import PPRRecommender
+from repro.models.random_rec import RandomRecommender
+from repro.models.recency import RecencyRecommender
+from repro.models.strec import STRECClassifier
+from repro.models.survival import SurvivalRecommender
+from repro.models.tsppr import TSPPRRecommender
+
+__all__ = [
+    "DYRCRecommender",
+    "FPMCRecommender",
+    "PopRecommender",
+    "PPRRecommender",
+    "RandomRecommender",
+    "RecencyRecommender",
+    "Recommender",
+    "STRECClassifier",
+    "SurvivalRecommender",
+    "TSPPRRecommender",
+]

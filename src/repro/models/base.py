@@ -1,0 +1,118 @@
+"""The recommender interface shared by TS-PPR and all baselines.
+
+An RRC recommender sees one query at a time: a user's history up to
+(excluding) position ``t`` and the Ω-filtered candidate set drawn from
+the window before ``t``. It returns scores — higher means "more likely
+to be the reconsumption at ``t``" — from which :meth:`recommend` takes
+the deterministic top-k (candidate order breaks ties, and candidates are
+always passed in sorted item order by the evaluation protocol, so runs
+are reproducible).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import WindowConfig
+from repro.data.sequence import ConsumptionSequence
+from repro.data.split import SplitDataset
+from repro.exceptions import EvaluationError, NotFittedError
+
+
+class Recommender(ABC):
+    """Base class for RRC recommenders."""
+
+    #: Display name used in result tables; subclasses must override.
+    name: str = ""
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._window_config: Optional[WindowConfig] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        split: SplitDataset,
+        window: Optional[WindowConfig] = None,
+    ) -> "Recommender":
+        """Fit on the training prefixes of ``split``.
+
+        Subclasses implement :meth:`_fit`; this wrapper records the
+        window configuration and the fitted flag.
+        """
+        window = window or WindowConfig()
+        self._window_config = window
+        self._fit(split, window)
+        self._fitted = True
+        return self
+
+    @abstractmethod
+    def _fit(self, split: SplitDataset, window: WindowConfig) -> None:
+        """Model-specific training. Must only read training prefixes."""
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def window_config(self) -> WindowConfig:
+        if self._window_config is None:
+            raise NotFittedError(f"{type(self).__name__} used before fit")
+        return self._window_config
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} used before fit")
+
+    # ------------------------------------------------------------------
+    # Scoring and recommendation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def score(
+        self,
+        sequence: ConsumptionSequence,
+        candidates: Sequence[int],
+        t: int,
+    ) -> np.ndarray:
+        """Preference scores for ``candidates`` at position ``t``.
+
+        ``sequence`` is the user's *full* sequence; implementations must
+        only consult positions ``< t``.
+        """
+
+    def recommend(
+        self,
+        sequence: ConsumptionSequence,
+        candidates: Sequence[int],
+        t: int,
+        k: int,
+    ) -> List[int]:
+        """The top-``k`` candidates by :meth:`score`.
+
+        Ties are broken by candidate order, which the evaluation protocol
+        fixes to ascending item index — so results are deterministic.
+        """
+        self._check_fitted()
+        if k <= 0:
+            raise EvaluationError(f"k must be positive, got {k}")
+        if not candidates:
+            return []
+        scores = np.asarray(self.score(sequence, candidates, t), dtype=np.float64)
+        if scores.shape[0] != len(candidates):
+            raise EvaluationError(
+                f"{type(self).__name__}.score returned {scores.shape[0]} scores "
+                f"for {len(candidates)} candidates"
+            )
+        k = min(k, len(candidates))
+        # Stable mergesort on negated scores keeps candidate order on ties.
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [int(candidates[int(i)]) for i in order]
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"{type(self).__name__}(name={self.name!r}, {state})"

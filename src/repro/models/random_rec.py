@@ -1,0 +1,42 @@
+"""The Random baseline: uniform recommendation from the window.
+
+Section 5.2: "randomly recommends items from the given time window. No
+weighting scheme on the items is used." Scores are i.i.d. uniform draws,
+so the induced top-k is a uniform random subset/ordering of the
+candidates — but reproducible given the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import WindowConfig
+from repro.data.sequence import ConsumptionSequence
+from repro.data.split import SplitDataset
+from repro.models.base import Recommender
+from repro.rng import RandomState, ensure_rng
+
+
+class RandomRecommender(Recommender):
+    """Uniformly random ranking of the candidate set."""
+
+    name = "Random"
+
+    def __init__(self, random_state: RandomState = None) -> None:
+        super().__init__()
+        self._rng = ensure_rng(random_state)
+
+    def _fit(self, split: SplitDataset, window: WindowConfig) -> None:
+        # Nothing to learn.
+        return
+
+    def score(
+        self,
+        sequence: ConsumptionSequence,
+        candidates: Sequence[int],
+        t: int,
+    ) -> np.ndarray:
+        self._check_fitted()
+        return self._rng.random(len(candidates))

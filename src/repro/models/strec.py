@@ -1,0 +1,183 @@
+"""STREC: the short-term reconsumption switch (Chen et al., AAAI'15).
+
+The paper's Ref. [13] predicts *whether* the next consumption will be a
+repeat from the current window — the switch that routes between novel
+item recommendation and RRC. Table 5 combines its linear (Lasso) model
+with TS-PPR, so this module implements that linear model: an
+L1-regularized logistic classifier over four window-level behavioural
+features, trained on our own proximal-gradient solver
+(:class:`repro.optim.lasso.LogisticLasso`).
+
+Window-level features at position ``t`` (all in ``[0, 1]``):
+
+0. mean normalized item quality of the window's consumptions,
+1. mean item reconsumption ratio of the window's distinct items,
+2. repeat density — fraction of window positions that repeat an earlier
+   window position,
+3. distinct ratio — distinct items over window length (the
+   novelty-seeking signal, negatively related to repeating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import WindowConfig
+from repro.data.sequence import ConsumptionSequence
+from repro.data.split import SplitDataset
+from repro.exceptions import NotFittedError
+from repro.features.static import compute_item_quality, compute_reconsumption_ratio
+from repro.optim.lasso import LogisticLasso
+from repro.windows.window import WindowView, window_before
+
+#: Number of window-level features the classifier consumes.
+N_STREC_FEATURES = 4
+
+
+@dataclass(frozen=True)
+class STRECEvaluation:
+    """Accuracy summary of the switch on a test stream."""
+
+    accuracy: float
+    n_positions: int
+    n_repeats: int
+
+    @property
+    def repeat_base_rate(self) -> float:
+        """Fraction of positions that truly are repeats."""
+        if self.n_positions == 0:
+            return 0.0
+        return self.n_repeats / self.n_positions
+
+
+class STRECClassifier:
+    """Repeat-vs-novel switch over window-level behavioural features.
+
+    Not a :class:`~repro.models.base.Recommender` — it answers a binary
+    question per position, not a ranking one.
+    """
+
+    name = "STREC"
+
+    def __init__(self, alpha: float = 1e-3) -> None:
+        self.alpha = alpha
+        self._model: Optional[LogisticLasso] = None
+        self._quality: Optional[np.ndarray] = None
+        self._reconsumption_ratio: Optional[np.ndarray] = None
+        self._window_config: Optional[WindowConfig] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Fitted feature weights (Lasso may zero some out)."""
+        if self._model is None or self._model.coef_ is None:
+            raise NotFittedError("STRECClassifier used before fit")
+        return self._model.coef_
+
+    # ------------------------------------------------------------------
+    # Features
+    # ------------------------------------------------------------------
+    def window_features(self, window: WindowView) -> np.ndarray:
+        """The four window-level features for one position."""
+        assert self._quality is not None
+        assert self._reconsumption_ratio is not None
+        length = len(window)
+        if length == 0:
+            return np.zeros(N_STREC_FEATURES)
+        items = window.items
+        distinct = np.asarray(window.distinct_items(), dtype=np.int64)
+        mean_quality = float(self._quality[items].mean())
+        mean_ratio = float(self._reconsumption_ratio[distinct].mean())
+        repeat_density = 1.0 - distinct.size / length
+        distinct_ratio = distinct.size / length
+        return np.array(
+            [mean_quality, mean_ratio, repeat_density, distinct_ratio],
+            dtype=np.float64,
+        )
+
+    def _position_rows(
+        self,
+        sequence: ConsumptionSequence,
+        start: int,
+        stop: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Feature matrix and repeat labels for positions in [start, stop)."""
+        assert self._window_config is not None
+        window_size = self._window_config.window_size
+        rows: List[np.ndarray] = []
+        labels: List[int] = []
+        for t in range(max(start, 1), stop):
+            view = window_before(sequence, t, window_size)
+            rows.append(self.window_features(view))
+            labels.append(1 if int(sequence[t]) in view else 0)
+        if not rows:
+            return np.empty((0, N_STREC_FEATURES)), np.empty(0, dtype=np.int64)
+        return np.vstack(rows), np.asarray(labels, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Fit / predict
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        split: SplitDataset,
+        window: Optional[WindowConfig] = None,
+    ) -> "STRECClassifier":
+        """Train the switch on every training-prefix position."""
+        self._window_config = window or WindowConfig()
+        train = split.train_dataset()
+        self._quality = compute_item_quality(train.item_frequencies())
+        self._reconsumption_ratio = compute_reconsumption_ratio(
+            train, self._window_config.window_size
+        )
+        matrices: List[np.ndarray] = []
+        labels: List[np.ndarray] = []
+        for user in range(split.n_users):
+            X, y = self._position_rows(
+                split.full_sequence(user), 1, split.train_boundary(user)
+            )
+            if len(y):
+                matrices.append(X)
+                labels.append(y)
+        X_all = np.vstack(matrices)
+        y_all = np.concatenate(labels)
+        self._model = LogisticLasso(alpha=self.alpha).fit(X_all, y_all)
+        return self
+
+    def predict_position(self, sequence: ConsumptionSequence, t: int) -> bool:
+        """Predict whether the consumption at ``t`` will be a repeat."""
+        if self._model is None or self._window_config is None:
+            raise NotFittedError("STRECClassifier used before fit")
+        view = window_before(sequence, t, self._window_config.window_size)
+        probability = self._model.predict_proba(
+            self.window_features(view)[None, :]
+        )
+        return bool(probability[0] >= 0.5)
+
+    def evaluate(self, split: SplitDataset) -> STRECEvaluation:
+        """Switch accuracy over every test-side position (Table 5 column)."""
+        if self._model is None or self._window_config is None:
+            raise NotFittedError("STRECClassifier used before fit")
+        correct = 0
+        total = 0
+        repeats = 0
+        for user in range(split.n_users):
+            sequence = split.full_sequence(user)
+            X, y = self._position_rows(
+                sequence, split.train_boundary(user), len(sequence)
+            )
+            if not len(y):
+                continue
+            predictions = self._model.predict(X)
+            correct += int((predictions == y).sum())
+            total += len(y)
+            repeats += int(y.sum())
+        accuracy = correct / total if total else 0.0
+        return STRECEvaluation(
+            accuracy=accuracy, n_positions=total, n_repeats=repeats
+        )

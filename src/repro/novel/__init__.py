@@ -1,0 +1,42 @@
+"""Novel-item recommendation and the RRC/novel mixture (Section 4.3).
+
+The paper notes that TS-PPR "can be used in novel item recommendation as
+well" — positives become first-time consumptions and negatives are
+pre-sampled from the (huge) unconsumed item space — and names, as future
+work, *mixing* the RRC and novel lists "to balance users' demands for
+both novelty-seeking and repeat consumption". This subpackage implements
+both:
+
+* :mod:`repro.novel.candidates` — novel candidate pools and the sampled
+  evaluation protocol standard for large item spaces (1 truth + ``n``
+  sampled unconsumed items);
+* :mod:`repro.novel.sampling` — pre-sampling of novel training
+  quadruples ``(u, v_i, v_j, t)`` with ``v_i`` a first-time consumption;
+* :mod:`repro.novel.models` — :class:`NovelTSPPRRecommender` (TS-PPR
+  trained on novel quadruples) and a popularity fallback;
+* :mod:`repro.novel.mixture` — :class:`MixtureRecommender`, which routes
+  each position through STREC's repeat probability and blends the two
+  lists, plus the unified next-item evaluation protocol.
+"""
+
+from repro.novel.candidates import (
+    NovelEvaluationConfig,
+    consumed_items_before,
+    iter_novel_evaluation_positions,
+    sample_novel_candidates,
+)
+from repro.novel.mixture import MixtureRecommender, evaluate_next_item
+from repro.novel.models import NovelPopRecommender, NovelTSPPRRecommender
+from repro.novel.sampling import sample_novel_quadruples
+
+__all__ = [
+    "MixtureRecommender",
+    "NovelEvaluationConfig",
+    "NovelPopRecommender",
+    "NovelTSPPRRecommender",
+    "consumed_items_before",
+    "evaluate_next_item",
+    "iter_novel_evaluation_positions",
+    "sample_novel_candidates",
+    "sample_novel_quadruples",
+]

@@ -1,0 +1,218 @@
+"""Mixing RRC and novel recommendations — the paper's stated future work.
+
+"Although it may actually be better to somehow mix the results from RRC
+and novel item recommendation before presenting to users, we would like
+to focus on RRC in this paper, and leave the mixture problem in our
+future work." (Section 3.)
+
+:class:`MixtureRecommender` implements the natural mixture: STREC
+estimates the probability that the next consumption is a repeat; the
+top-``k`` list allocates ``round(p · k)`` slots to the RRC model's
+ranking over window candidates and the rest to the novel model's ranking
+over sampled unconsumed items, interleaved repeat-side first when the
+switch leans toward repetition.
+
+:func:`evaluate_next_item` is the unified protocol: every test position
+(repeat *or* novel) is a target; the candidate pool is the union of the
+Ω-filtered window candidates and sampled unconsumed distractors; a hit
+means the blended list contains the true next item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.config import WindowConfig
+from repro.data.split import SplitDataset
+from repro.exceptions import EvaluationError, NotFittedError
+from repro.models.base import Recommender
+from repro.models.strec import STRECClassifier
+from repro.novel.candidates import (
+    NovelEvaluationConfig,
+    consumed_items_before,
+    sample_novel_candidates,
+)
+from repro.rng import RandomState, ensure_rng
+from repro.windows.repeat import candidate_items
+from repro.windows.window import window_before
+
+
+class MixtureRecommender:
+    """STREC-routed blend of an RRC model and a novel-item model.
+
+    Parameters
+    ----------
+    strec:
+        Fitted repeat/novel switch.
+    rrc_model:
+        Fitted RRC recommender (scores window candidates).
+    novel_model:
+        Fitted novel recommender (scores unconsumed candidates).
+    min_repeat_slots:
+        Lower bound on RRC slots whenever STREC predicts a repeat —
+        guards against the switch's probability being poorly calibrated.
+    """
+
+    name = "Mixture"
+
+    def __init__(
+        self,
+        strec: STRECClassifier,
+        rrc_model: Recommender,
+        novel_model: Recommender,
+        min_repeat_slots: int = 1,
+    ) -> None:
+        if not strec.is_fitted:
+            raise NotFittedError("MixtureRecommender needs a fitted STREC")
+        if not rrc_model.is_fitted or not novel_model.is_fitted:
+            raise NotFittedError("MixtureRecommender needs fitted models")
+        if min_repeat_slots < 0:
+            raise EvaluationError(
+                f"min_repeat_slots must be >= 0, got {min_repeat_slots}"
+            )
+        self.strec = strec
+        self.rrc_model = rrc_model
+        self.novel_model = novel_model
+        self.min_repeat_slots = min_repeat_slots
+
+    def repeat_probability(self, sequence, t: int) -> float:
+        """STREC's estimate that the consumption at ``t`` is a repeat."""
+        assert self.strec._model is not None  # is_fitted checked in init
+        window = window_before(
+            sequence, t, self.strec._window_config.window_size  # type: ignore[union-attr]
+        )
+        features = self.strec.window_features(window)[None, :]
+        return float(self.strec._model.predict_proba(features)[0])
+
+    def recommend(
+        self,
+        sequence,
+        t: int,
+        k: int,
+        repeat_candidates: List[int],
+        novel_candidates: List[int],
+    ) -> List[int]:
+        """The blended top-``k`` list at position ``t``.
+
+        ``repeat_candidates``/``novel_candidates`` are supplied by the
+        caller (the evaluation protocol or a serving layer), keeping this
+        class a pure ranking combinator.
+        """
+        if k <= 0:
+            raise EvaluationError(f"k must be positive, got {k}")
+        probability = self.repeat_probability(sequence, t)
+        repeat_slots = round(probability * k)
+        if probability >= 0.5:
+            repeat_slots = max(repeat_slots, self.min_repeat_slots)
+        repeat_slots = min(repeat_slots, k, len(repeat_candidates))
+        novel_slots = min(k - repeat_slots, len(novel_candidates))
+
+        repeat_list = (
+            self.rrc_model.recommend(sequence, repeat_candidates, t, k)
+            if repeat_candidates
+            else []
+        )
+        novel_list = (
+            self.novel_model.recommend(sequence, novel_candidates, t, k)
+            if novel_candidates
+            else []
+        )
+
+        blended: List[int] = []
+        blended.extend(repeat_list[:repeat_slots])
+        blended.extend(item for item in novel_list[:novel_slots]
+                       if item not in blended)
+        # Backfill any remaining slots from the longer lists.
+        for extra in (repeat_list[repeat_slots:], novel_list[novel_slots:]):
+            for item in extra:
+                if len(blended) >= k:
+                    break
+                if item not in blended:
+                    blended.append(item)
+        return blended[:k]
+
+
+@dataclass(frozen=True)
+class NextItemResult:
+    """Outcome of the unified next-item evaluation."""
+
+    hit_rate: Mapping[int, float]
+    n_targets: int
+    n_repeat_targets: int
+
+    @property
+    def repeat_share(self) -> float:
+        if self.n_targets == 0:
+            return 0.0
+        return self.n_repeat_targets / self.n_targets
+
+
+def evaluate_next_item(
+    mixture: MixtureRecommender,
+    split: SplitDataset,
+    window: Optional[WindowConfig] = None,
+    novel_config: Optional[NovelEvaluationConfig] = None,
+    random_state: RandomState = None,
+    max_targets_per_user: int = 200,
+) -> NextItemResult:
+    """Unified hit-rate over every test consumption, repeat or novel.
+
+    For each test position ``t``: the repeat pool is the Ω-filtered
+    window candidate set; the novel pool is ``n_sampled_candidates``
+    unconsumed distractors plus the truth when the truth is novel. The
+    mixture's blended top-N list is checked for the truth.
+    """
+    window = window or WindowConfig()
+    novel_config = novel_config or NovelEvaluationConfig()
+    rng = ensure_rng(random_state)
+    top_ns = tuple(sorted(novel_config.top_ns))
+    max_n = max(top_ns)
+
+    hits: Dict[int, int] = {n: 0 for n in top_ns}
+    n_targets = 0
+    n_repeat_targets = 0
+    n_items = split.n_items
+
+    for user in range(split.n_users):
+        sequence = split.full_sequence(user)
+        boundary = split.train_boundary(user)
+        stop = min(len(sequence), boundary + max_targets_per_user)
+        for t in range(boundary, stop):
+            truth = int(sequence[t])
+            repeat_pool = candidate_items(
+                sequence, t, window.window_size, window.min_gap
+            )
+            consumed = consumed_items_before(sequence, t)
+            novel_pool = sample_novel_candidates(
+                consumed | {truth},
+                n_items,
+                novel_config.n_sampled_candidates,
+                random_state=rng,
+            )
+            truth_is_novel = truth not in consumed
+            if truth_is_novel:
+                novel_pool = sorted(set(novel_pool) | {truth})
+            elif truth not in repeat_pool:
+                # A repeat of something outside the window (or within Ω):
+                # out of scope for both branches, as in the paper.
+                continue
+            ranked = mixture.recommend(
+                sequence, t, max_n, repeat_pool, novel_pool
+            )
+            n_targets += 1
+            if not truth_is_novel:
+                n_repeat_targets += 1
+            if truth in ranked:
+                position = ranked.index(truth)
+                for n in top_ns:
+                    if position < n:
+                        hits[n] += 1
+
+    if n_targets == 0:
+        raise EvaluationError("no next-item targets found in the test data")
+    return NextItemResult(
+        hit_rate={n: hits[n] / n_targets for n in top_ns},
+        n_targets=n_targets,
+        n_repeat_targets=n_repeat_targets,
+    )

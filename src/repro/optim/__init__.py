@@ -1,0 +1,27 @@
+"""Optimization substrate.
+
+* :mod:`repro.optim.sgd` — the stochastic gradient-descent driver used
+  by TS-PPR, PPR, and FPMC, with the paper's small-batch ``Δr̃``
+  convergence check (Section 5.6.1);
+* :mod:`repro.optim.convergence` — the margin-history monitor behind
+  Fig 12;
+* :mod:`repro.optim.lasso` — L1-regularized logistic regression by
+  accelerated proximal gradient (STREC's linear model);
+* :mod:`repro.optim.newton` — a damped Newton solver (Cox partial
+  likelihood).
+"""
+
+from repro.optim.convergence import ConvergenceMonitor
+from repro.optim.lasso import LogisticLasso, sigmoid
+from repro.optim.newton import NewtonResult, newton_minimize
+from repro.optim.sgd import SGDResult, run_sgd
+
+__all__ = [
+    "ConvergenceMonitor",
+    "LogisticLasso",
+    "NewtonResult",
+    "SGDResult",
+    "newton_minimize",
+    "run_sgd",
+    "sigmoid",
+]

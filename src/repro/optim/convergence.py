@@ -1,0 +1,69 @@
+"""Small-batch convergence monitoring through the mean margin ``r̃``.
+
+Section 5.6.1: rather than tracking the bounded per-quadruple likelihood,
+the paper tracks ``r̃`` — the mean preference margin
+``r_uv_i t − r_uv_j t`` over a fixed small batch — and declares
+convergence when its change between checks ``Δr̃`` drops to ``1e-3``.
+The recorded history is exactly the curve plotted in Fig 12.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class ConvergenceMonitor:
+    """Tracks ``r̃`` across checks and reports convergence on ``Δr̃``.
+
+    Parameters
+    ----------
+    tol:
+        Convergence threshold on ``|Δr̃|``.
+    patience:
+        How many *consecutive* checks must satisfy the threshold. The
+        default 1 matches the paper; a larger value guards against a
+        coincidentally flat pair of checks early in training.
+    """
+
+    def __init__(self, tol: float = 1e-3, patience: int = 1) -> None:
+        if tol <= 0:
+            raise ValueError(f"tol must be positive, got {tol}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.tol = tol
+        self.patience = patience
+        self._history: List[Tuple[int, float]] = []
+        self._streak = 0
+
+    @property
+    def history(self) -> List[Tuple[int, float]]:
+        """``(n_updates, r̃)`` pairs, one per check (Fig 12 series)."""
+        return list(self._history)
+
+    @property
+    def last_margin(self) -> float:
+        """Most recent ``r̃`` (raises if no check happened yet)."""
+        if not self._history:
+            raise ValueError("no convergence check recorded yet")
+        return self._history[-1][1]
+
+    def record(self, n_updates: int, margin: float) -> bool:
+        """Record a check; return ``True`` when converged.
+
+        The first check never converges (there is no ``Δr̃`` yet).
+        """
+        converged = False
+        if self._history:
+            delta = abs(margin - self._history[-1][1])
+            if delta <= self.tol:
+                self._streak += 1
+            else:
+                self._streak = 0
+            converged = self._streak >= self.patience
+        self._history.append((int(n_updates), float(margin)))
+        return converged
+
+    def reset(self) -> None:
+        """Forget all recorded checks."""
+        self._history.clear()
+        self._streak = 0

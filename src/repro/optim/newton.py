@@ -1,0 +1,119 @@
+"""Damped Newton minimization with backtracking line search.
+
+Used by the Cox proportional-hazards fitter
+(:mod:`repro.survival.cox`), whose negative partial log-likelihood is
+smooth and convex with an inexpensive exact Hessian.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+ValueGradHess = Callable[[np.ndarray], Tuple[float, np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class NewtonResult:
+    """Outcome of :func:`newton_minimize`."""
+
+    x: np.ndarray
+    value: float
+    n_iter: int
+    converged: bool
+    gradient_norm: float
+
+
+def newton_minimize(
+    objective: ValueGradHess,
+    x0: np.ndarray,
+    tol: float = 1e-8,
+    max_iter: int = 100,
+    ridge: float = 1e-9,
+    max_backtracks: int = 40,
+    raise_on_failure: bool = True,
+) -> NewtonResult:
+    """Minimize a smooth convex function with damped Newton steps.
+
+    Parameters
+    ----------
+    objective:
+        Maps ``x`` to ``(value, gradient, hessian)``.
+    x0:
+        Starting point (not modified).
+    tol:
+        Convergence threshold on the gradient inf-norm.
+    ridge:
+        Initial diagonal jitter added when the Hessian solve fails;
+        increased geometrically until the solve succeeds.
+    max_backtracks:
+        Halvings of the step length while the objective does not
+        decrease.
+    raise_on_failure:
+        Raise :class:`~repro.exceptions.ConvergenceError` if the
+        iteration budget is exhausted; otherwise return the best point
+        found with ``converged=False``.
+    """
+    x = np.array(x0, dtype=np.float64, copy=True)
+    value, gradient, hessian = objective(x)
+
+    for iteration in range(1, max_iter + 1):
+        gradient_norm = float(np.max(np.abs(gradient))) if gradient.size else 0.0
+        if gradient_norm <= tol:
+            return NewtonResult(
+                x=x, value=value, n_iter=iteration - 1,
+                converged=True, gradient_norm=gradient_norm,
+            )
+
+        jitter = 0.0
+        while True:
+            try:
+                step = np.linalg.solve(
+                    hessian + jitter * np.eye(hessian.shape[0]), gradient
+                )
+                break
+            except np.linalg.LinAlgError:
+                jitter = ridge if jitter == 0.0 else jitter * 10.0
+                if jitter > 1e6:
+                    raise ConvergenceError(
+                        "Newton step failed: Hessian remained singular "
+                        "despite heavy ridge regularization"
+                    )
+
+        scale = 1.0
+        min_decrease = 1e-12 * (1.0 + abs(value))
+        for _ in range(max_backtracks):
+            candidate = x - scale * step
+            candidate_value, candidate_grad, candidate_hess = objective(candidate)
+            if np.isfinite(candidate_value) and candidate_value <= value - min_decrease:
+                x, value = candidate, candidate_value
+                gradient, hessian = candidate_grad, candidate_hess
+                break
+            scale *= 0.5
+        else:
+            # No meaningful decrease in any direction: numerically done.
+            return NewtonResult(
+                x=x, value=value, n_iter=iteration,
+                converged=gradient_norm <= max(tol, 1e-4),
+                gradient_norm=gradient_norm,
+            )
+
+    gradient_norm = float(np.max(np.abs(gradient))) if gradient.size else 0.0
+    if gradient_norm <= tol:
+        return NewtonResult(
+            x=x, value=value, n_iter=max_iter, converged=True,
+            gradient_norm=gradient_norm,
+        )
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"Newton did not converge in {max_iter} iterations "
+            f"(gradient inf-norm {gradient_norm:.3e} > tol {tol:.3e})"
+        )
+    return NewtonResult(
+        x=x, value=value, n_iter=max_iter, converged=False,
+        gradient_norm=gradient_norm,
+    )

@@ -1,0 +1,94 @@
+"""Generic SGD driver shared by the pairwise-ranking models.
+
+The driver owns the *schedule*: draw a training index, apply the model's
+update, and every ``check_interval`` updates evaluate the mean margin on
+a fixed small batch, delegating the stop decision to a
+:class:`~repro.optim.convergence.ConvergenceMonitor`. Models supply two
+callables and stay in charge of their own parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+
+from repro.optim.convergence import ConvergenceMonitor
+
+
+@dataclass(frozen=True)
+class SGDResult:
+    """Outcome of an SGD run.
+
+    Attributes
+    ----------
+    n_updates:
+        Total single-quadruple updates applied ("epochs" in the paper's
+        Algorithm 1 wording).
+    converged:
+        Whether the ``Δr̃`` criterion fired before the update budget ran
+        out.
+    margin_history:
+        ``(n_updates, r̃)`` checkpoints — the Fig 12 curve.
+    """
+
+    n_updates: int
+    converged: bool
+    margin_history: Tuple[Tuple[int, float], ...]
+
+    @property
+    def final_margin(self) -> float:
+        """``r̃`` at the last convergence check."""
+        if not self.margin_history:
+            raise ValueError("SGD run recorded no convergence checks")
+        return self.margin_history[-1][1]
+
+
+def run_sgd(
+    draw_index: Callable[[], int],
+    apply_update: Callable[[int], None],
+    batch_margin: Callable[[], float],
+    max_updates: int,
+    check_interval: int,
+    tol: float = 1e-3,
+    patience: int = 1,
+) -> SGDResult:
+    """Run SGD until the margin stabilizes or the budget is exhausted.
+
+    Parameters
+    ----------
+    draw_index:
+        Returns the next training-example index (the schedule).
+    apply_update:
+        Applies one stochastic update for the given index.
+    batch_margin:
+        Returns the current mean margin ``r̃`` on the fixed small batch.
+    max_updates:
+        Hard budget of updates.
+    check_interval:
+        Updates between convergence checks (the paper's ``m = |D|/10``).
+    tol, patience:
+        Forwarded to :class:`ConvergenceMonitor`.
+    """
+    if max_updates <= 0:
+        raise ValueError(f"max_updates must be positive, got {max_updates}")
+    if check_interval <= 0:
+        raise ValueError(f"check_interval must be positive, got {check_interval}")
+
+    monitor = ConvergenceMonitor(tol=tol, patience=patience)
+    monitor.record(0, batch_margin())
+
+    n_updates = 0
+    converged = False
+    while n_updates < max_updates and not converged:
+        block = min(check_interval, max_updates - n_updates)
+        for _ in range(block):
+            apply_update(draw_index())
+        n_updates += block
+        converged = monitor.record(n_updates, batch_margin())
+
+    return SGDResult(
+        n_updates=n_updates,
+        converged=converged,
+        margin_history=tuple(monitor.history),
+    )

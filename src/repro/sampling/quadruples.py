@@ -1,0 +1,149 @@
+"""Construction of the pre-sampled training set ``D``.
+
+Mirrors the example of Fig 3: scanning the training prefix of each user,
+every valid repeat consumption (in the window, not within the last Ω
+steps) becomes a positive ``v_i`` at its position ``t``; up to ``S``
+negatives ``v_j`` are drawn uniformly without replacement from the other
+Ω-eligible candidates of the same window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import WindowConfig
+from repro.data.split import SplitDataset
+from repro.exceptions import SamplingError
+from repro.rng import RandomState, ensure_rng
+from repro.windows.repeat import iter_repeat_positions, recent_items
+
+
+@dataclass(frozen=True)
+class QuadrupleSet:
+    """Dense arrays of training quadruples ``(u, v_i, v_j, t)``.
+
+    All four arrays share the same length. ``per_user[u]`` lists the
+    row indices belonging to user ``u`` in sampling order (positives are
+    scanned by ascending ``t``, so "the first 10% of a user's quadruples"
+    — the paper's small-batch rule — is a plain prefix of that list).
+    """
+
+    users: np.ndarray
+    positives: np.ndarray
+    negatives: np.ndarray
+    times: np.ndarray
+    per_user: Dict[int, np.ndarray] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        lengths = {
+            self.users.shape,
+            self.positives.shape,
+            self.negatives.shape,
+            self.times.shape,
+        }
+        if len(lengths) != 1:
+            raise SamplingError(f"quadruple arrays have mismatched shapes: {lengths}")
+
+    def __len__(self) -> int:
+        return int(self.users.size)
+
+    @property
+    def n_users_with_quadruples(self) -> int:
+        return len(self.per_user)
+
+    def row(self, index: int) -> Tuple[int, int, int, int]:
+        """The quadruple at ``index`` as plain ints."""
+        return (
+            int(self.users[index]),
+            int(self.positives[index]),
+            int(self.negatives[index]),
+            int(self.times[index]),
+        )
+
+
+def sample_quadruples(
+    split: SplitDataset,
+    window: Optional[WindowConfig] = None,
+    n_negatives: int = 10,
+    random_state: RandomState = None,
+) -> QuadrupleSet:
+    """Pre-sample the training set ``D`` from a split dataset.
+
+    Parameters
+    ----------
+    split:
+        The 70/30 split; only training prefixes are scanned.
+    window:
+        ``|W|`` and ``Ω``. Defaults to the paper's 100 / 10.
+    n_negatives:
+        ``S`` — negatives per positive. When a window offers fewer
+        eligible negatives, all of them are used (no replacement, so no
+        duplicated quadruples from one positive).
+    random_state:
+        Seed or generator for negative selection.
+
+    Raises
+    ------
+    SamplingError
+        If no quadruple at all can be formed (training data has no
+        qualifying repeat with at least one alternative candidate).
+    """
+    window = window or WindowConfig()
+    if n_negatives <= 0:
+        raise SamplingError(f"n_negatives must be positive, got {n_negatives}")
+    rng = ensure_rng(random_state)
+
+    users: List[int] = []
+    positives: List[int] = []
+    negatives: List[int] = []
+    times: List[int] = []
+    per_user: Dict[int, List[int]] = {}
+
+    for user in range(split.n_users):
+        sequence = split.full_sequence(user)
+        boundary = split.train_boundary(user)
+        for t, window_view in iter_repeat_positions(
+            sequence,
+            window.window_size,
+            window.min_gap,
+            stop=boundary,
+        ):
+            positive_item = int(sequence[t])
+            excluded = recent_items(sequence, t, window.min_gap)
+            eligible = sorted(
+                window_view.item_set - excluded - {positive_item}
+            )
+            if not eligible:
+                continue
+            if len(eligible) <= n_negatives:
+                chosen = eligible
+            else:
+                picks = rng.choice(len(eligible), size=n_negatives, replace=False)
+                chosen = [eligible[int(p)] for p in np.sort(picks)]
+            for negative_item in chosen:
+                index = len(users)
+                users.append(user)
+                positives.append(positive_item)
+                negatives.append(int(negative_item))
+                times.append(t)
+                per_user.setdefault(user, []).append(index)
+
+    if not users:
+        raise SamplingError(
+            "no training quadruples could be sampled; the training data "
+            "contains no qualifying repeat consumption with alternatives"
+        )
+
+    return QuadrupleSet(
+        users=np.asarray(users, dtype=np.int64),
+        positives=np.asarray(positives, dtype=np.int64),
+        negatives=np.asarray(negatives, dtype=np.int64),
+        times=np.asarray(times, dtype=np.int64),
+        per_user={
+            user: np.asarray(indices, dtype=np.int64)
+            for user, indices in per_user.items()
+        },
+    )

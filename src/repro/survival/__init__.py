@@ -1,0 +1,20 @@
+"""Survival-analysis substrate: Cox proportional hazards from scratch.
+
+The paper's **Survival** baseline (Kapoor et al., KDD'14) models the
+time until a user *returns* to an item with a Cox proportional-hazards
+regression. The reference implementation used the ``lifelines`` package,
+which is not available in this offline environment, so
+:mod:`repro.survival.cox` implements the standard estimator directly:
+
+* partial likelihood with **Breslow** handling of tied event times,
+* **Newton-Raphson** maximization (via :mod:`repro.optim.newton`),
+* **Breslow** baseline cumulative-hazard estimator.
+
+:mod:`repro.survival.datasets` converts consumption sequences into the
+(duration, event, covariates) triples the model consumes.
+"""
+
+from repro.survival.cox import CoxPHModel
+from repro.survival.datasets import SurvivalData, build_return_time_data
+
+__all__ = ["CoxPHModel", "SurvivalData", "build_return_time_data"]

@@ -1,0 +1,318 @@
+"""Cox proportional-hazards regression.
+
+The model: hazard of the event for subject ``i`` at time ``t`` is
+``h(t | x_i) = h₀(t) · exp(x_iᵀ β)``. ``β`` is estimated by maximizing
+the Breslow partial likelihood; the baseline cumulative hazard ``H₀`` by
+the Breslow estimator. Right-censored observations are supported through
+the ``events`` indicator.
+
+The implementation is fully vectorized: observations are sorted by
+descending duration once, after which risk-set aggregates are prefix
+sums.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+from repro.optim.newton import newton_minimize
+
+
+class CoxPHModel:
+    """Cox proportional-hazards model with Breslow ties.
+
+    Parameters
+    ----------
+    l2_penalty:
+        Optional ridge penalty on ``β`` — stabilizes fits on the small,
+        heavily tied discrete-gap datasets the Survival baseline
+        produces.
+    tol, max_iter:
+        Newton-Raphson stopping controls.
+
+    Attributes
+    ----------
+    coef_:
+        Fitted ``β``, shape ``(n_covariates,)``.
+    baseline_times_:
+        Sorted distinct event times.
+    baseline_cumhaz_:
+        Breslow cumulative baseline hazard ``H₀`` at those times.
+    """
+
+    def __init__(
+        self,
+        l2_penalty: float = 1e-4,
+        tol: float = 1e-7,
+        max_iter: int = 200,
+    ) -> None:
+        if l2_penalty < 0:
+            raise ValueError(f"l2_penalty must be non-negative, got {l2_penalty}")
+        self.l2_penalty = l2_penalty
+        self.tol = tol
+        self.max_iter = max_iter
+        self.coef_: Optional[np.ndarray] = None
+        self.baseline_times_: Optional[np.ndarray] = None
+        self.baseline_cumhaz_: Optional[np.ndarray] = None
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        durations: np.ndarray,
+        events: np.ndarray,
+        covariates: np.ndarray,
+    ) -> "CoxPHModel":
+        """Fit ``β`` and the baseline hazard.
+
+        Parameters
+        ----------
+        durations:
+            Observed times (event or censoring), shape ``(n,)``; must be
+            positive.
+        events:
+            1 where the event occurred, 0 where censored.
+        covariates:
+            Design matrix, shape ``(n, F)``.
+        """
+        durations = np.asarray(durations, dtype=np.float64).ravel()
+        events = np.asarray(events, dtype=np.float64).ravel()
+        X = np.asarray(covariates, dtype=np.float64)
+        if X.ndim != 2:
+            raise DataError(f"covariates must be 2-D, got shape {X.shape}")
+        n, n_features = X.shape
+        if durations.shape[0] != n or events.shape[0] != n:
+            raise DataError(
+                f"durations ({durations.shape[0]}), events ({events.shape[0]}) "
+                f"and covariates ({n}) must agree in length"
+            )
+        if n == 0:
+            raise DataError("cannot fit CoxPHModel on zero observations")
+        if np.any(durations <= 0):
+            raise DataError("all durations must be positive")
+        if not set(np.unique(events).tolist()) <= {0.0, 1.0}:
+            raise DataError("events must be a 0/1 indicator")
+        if events.sum() == 0:
+            raise DataError("at least one uncensored event is required")
+
+        # Sort by descending duration so risk sets become prefixes.
+        order = np.argsort(-durations, kind="stable")
+        durations_sorted = durations[order]
+        events_sorted = events[order]
+        X_sorted = X[order]
+
+        # Group boundaries of tied durations (descending order).
+        boundaries = self._tie_group_ends(durations_sorted)
+
+        def objective(beta: np.ndarray):
+            return self._neg_partial_loglik(
+                beta, durations_sorted, events_sorted, X_sorted, boundaries
+            )
+
+        result = newton_minimize(
+            objective,
+            np.zeros(n_features),
+            tol=self.tol,
+            max_iter=self.max_iter,
+            raise_on_failure=False,
+        )
+        self.coef_ = result.x
+        self.n_iter_ = result.n_iter
+
+        self._fit_baseline(durations, events, X)
+        return self
+
+    @staticmethod
+    def _tie_group_ends(durations_desc: np.ndarray) -> np.ndarray:
+        """End index (exclusive) of every tie group in descending order."""
+        n = durations_desc.size
+        changes = np.flatnonzero(np.diff(durations_desc)) + 1
+        return np.append(changes, n)
+
+    def _neg_partial_loglik(
+        self,
+        beta: np.ndarray,
+        durations_desc: np.ndarray,
+        events_desc: np.ndarray,
+        X_desc: np.ndarray,
+        group_ends: np.ndarray,
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        """Breslow negative partial log-likelihood + gradient + Hessian."""
+        n, n_features = X_desc.shape
+        scores = X_desc @ beta
+        scores = np.clip(scores, -500, 500)  # guard exp overflow
+        weights = np.exp(scores)
+
+        # Prefix sums over the descending order = risk-set aggregates.
+        weight_cum = np.cumsum(weights)
+        weighted_X = X_desc * weights[:, None]
+        weighted_X_cum = np.cumsum(weighted_X, axis=0)
+        outer = X_desc[:, :, None] * X_desc[:, None, :] * weights[:, None, None]
+        outer_cum = np.cumsum(outer, axis=0)
+
+        value = 0.0
+        gradient = np.zeros(n_features)
+        hessian = np.zeros((n_features, n_features))
+        group_start = 0
+        for group_end in group_ends:
+            group = slice(group_start, group_end)
+            event_mask = events_desc[group] > 0
+            d_k = float(event_mask.sum())
+            if d_k > 0:
+                risk_end = group_end - 1  # inclusive index into prefix sums
+                W = weight_cum[risk_end]
+                mean_x = weighted_X_cum[risk_end] / W
+                mean_outer = outer_cum[risk_end] / W
+                events_X = X_desc[group][event_mask]
+                events_scores = scores[group][event_mask]
+                value -= float(events_scores.sum()) - d_k * np.log(W)
+                gradient -= events_X.sum(axis=0) - d_k * mean_x
+                hessian += d_k * (mean_outer - np.outer(mean_x, mean_x))
+            group_start = group_end
+
+        if self.l2_penalty:
+            value += 0.5 * self.l2_penalty * float(beta @ beta)
+            gradient += self.l2_penalty * beta
+            hessian += self.l2_penalty * np.eye(n_features)
+        return value, gradient, hessian
+
+    def _fit_baseline(
+        self,
+        durations: np.ndarray,
+        events: np.ndarray,
+        X: np.ndarray,
+    ) -> None:
+        """Breslow estimator of the cumulative baseline hazard ``H₀``."""
+        assert self.coef_ is not None
+        weights = np.exp(np.clip(X @ self.coef_, -500, 500))
+        event_times = np.unique(durations[events > 0])
+        cumhaz = np.empty(event_times.size, dtype=np.float64)
+        running = 0.0
+        for index, time in enumerate(event_times):
+            d_k = float(((durations == time) & (events > 0)).sum())
+            at_risk = float(weights[durations >= time].sum())
+            running += d_k / at_risk
+            cumhaz[index] = running
+        self.baseline_times_ = event_times
+        self.baseline_cumhaz_ = cumhaz
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.coef_ is None or self.baseline_times_ is None:
+            raise NotFittedError("CoxPHModel used before fit")
+
+    def predict_partial_hazard(self, covariates: np.ndarray) -> np.ndarray:
+        """``exp(xᵀβ)`` per row — relative risk versus the baseline."""
+        self._check_fitted()
+        X = np.atleast_2d(np.asarray(covariates, dtype=np.float64))
+        return np.exp(np.clip(X @ self.coef_, -500, 500))
+
+    def cumulative_hazard(
+        self, times: np.ndarray, covariates: np.ndarray
+    ) -> np.ndarray:
+        """``H(t | x) = H₀(t) · exp(xᵀβ)`` for paired times/rows."""
+        self._check_fitted()
+        times = np.asarray(times, dtype=np.float64).ravel()
+        partial = self.predict_partial_hazard(covariates).ravel()
+        if partial.size != times.size:
+            raise DataError(
+                f"times ({times.size}) and covariate rows ({partial.size}) "
+                f"must pair up"
+            )
+        baseline = self._baseline_at(times)
+        return baseline * partial
+
+    def survival_function(
+        self, times: np.ndarray, covariates: np.ndarray
+    ) -> np.ndarray:
+        """``S(t | x) = exp(−H(t | x))``."""
+        return np.exp(-self.cumulative_hazard(times, covariates))
+
+    def expected_return_score(
+        self, elapsed: np.ndarray, covariates: np.ndarray
+    ) -> np.ndarray:
+        """Ranking score for "returns next" given elapsed time.
+
+        The discrete-step analogue of the instantaneous return intensity:
+        the conditional probability that the event lands in the next time
+        step given survival so far,
+        ``1 − exp(−(H(t+1|x) − H(t|x)))``. Monotone in the hazard, which
+        is what the Survival recommender ranks by.
+        """
+        self._check_fitted()
+        elapsed = np.asarray(elapsed, dtype=np.float64).ravel()
+        partial = self.predict_partial_hazard(covariates).ravel()
+        if partial.size != elapsed.size:
+            raise DataError("elapsed and covariate rows must pair up")
+        increment = self._baseline_at(elapsed + 1.0) - self._baseline_at(elapsed)
+        # Items past the largest observed gap keep a tiny floor hazard so
+        # ranking among them still follows the covariates.
+        increment = np.maximum(increment, 1e-12)
+        return 1.0 - np.exp(-increment * partial)
+
+    def expected_return_time(self, covariates: np.ndarray) -> np.ndarray:
+        """Restricted mean survival time ``E[T | x]`` per covariate row.
+
+        Integrates the step survival function over the observed event-time
+        grid: ``E[T] ≈ Σ_k S(t_k | x) · (t_{k+1} − t_k)`` with ``t_0 = 0``
+        and the integral truncated at the largest observed event time.
+        This is the "estimated return time" the continuous-time Survival
+        baseline ranks by.
+        """
+        self._check_fitted()
+        assert self.baseline_times_ is not None
+        assert self.baseline_cumhaz_ is not None
+        partial = self.predict_partial_hazard(covariates).ravel()
+        times = self.baseline_times_
+        # Survival just *before* each event time: S(t_k^-) uses H0 of the
+        # previous step; contribution of [t_{k-1}, t_k) is S(t_{k-1}) Δt.
+        padded_cumhaz = np.concatenate([[0.0], self.baseline_cumhaz_[:-1]])
+        step_starts = np.concatenate([[0.0], times[:-1]])
+        widths = times - step_starts
+        # (n_rows, n_times): survival of each row at each step start.
+        survival = np.exp(-np.outer(partial, padded_cumhaz))
+        return survival @ widths
+
+    def _baseline_at(self, times: np.ndarray) -> np.ndarray:
+        """Step-function lookup of ``H₀`` at arbitrary times."""
+        assert self.baseline_times_ is not None
+        assert self.baseline_cumhaz_ is not None
+        indices = np.searchsorted(self.baseline_times_, times, side="right")
+        padded = np.concatenate([[0.0], self.baseline_cumhaz_])
+        return padded[indices]
+
+    def concordance_index(
+        self,
+        durations: np.ndarray,
+        events: np.ndarray,
+        covariates: np.ndarray,
+    ) -> float:
+        """Harrell's C-index of the fitted risk scores (sanity metric).
+
+        Fraction of comparable pairs ordered correctly: higher risk →
+        earlier event. 0.5 is chance; 1.0 is perfect.
+        """
+        self._check_fitted()
+        durations = np.asarray(durations, dtype=np.float64).ravel()
+        events = np.asarray(events, dtype=np.float64).ravel()
+        risks = self.predict_partial_hazard(covariates).ravel()
+        concordant = 0.0
+        comparable = 0
+        for i in range(durations.size):
+            if events[i] == 0:
+                continue
+            # i experienced the event; j survived past durations[i].
+            later = durations > durations[i]
+            comparable += int(later.sum())
+            concordant += float((risks[later] < risks[i]).sum())
+            concordant += 0.5 * float((risks[later] == risks[i]).sum())
+        if comparable == 0:
+            return 0.5
+        return concordant / comparable

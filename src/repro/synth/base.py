@@ -1,0 +1,181 @@
+"""Synthetic dataset configuration and the top-level generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+from repro.data.dataset import Dataset
+from repro.data.sequence import ConsumptionSequence
+from repro.data.vocab import Vocabulary
+from repro.exceptions import DataError
+from repro.rng import RandomState, ensure_rng, spawn
+from repro.synth.copying import simulate_user_sequence
+from repro.synth.popularity import ZipfPopularity
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the repeat/explore copy process for one dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset label ("Gowalla-like", "Lastfm-like", ...).
+    n_users, n_items:
+        Population sizes. ``n_items`` is the global universe; each user
+        sees only a personal catalog.
+    sequence_length_range:
+        Inclusive (min, max) of the uniform per-user sequence length.
+    catalog_size_range:
+        Inclusive (min, max) of the uniform per-user catalog size.
+    zipf_exponent:
+        Heavy-tailedness of global item popularity.
+    p_explore_range:
+        Inclusive (min, max) of the uniform per-user explore
+        probability; ``1 − p_explore`` is roughly the repeat rate.
+    memory_span:
+        How far back the repeat process copies from.
+    frequency_exponent, recency_exponent:
+        Repeat-choice steepness (see :mod:`repro.synth.copying`).
+    affinity_strength:
+        Per-user item-affinity log-normal sigma (personalized taste).
+    explore_weight_exponent:
+        Exponent applied to the global popularity weights *within* a
+        user's catalog when exploring: 1 keeps the full Zipf skew
+        (explores concentrate on a few popular items), 0 makes explores
+        uniform over the catalog (maximally diverse windows).
+    resume_probability, resume_min_gap:
+        "Resume" behaviour passed through to
+        :func:`repro.synth.copying.simulate_user_sequence`.
+    frequency_heterogeneity, recency_heterogeneity:
+        Half-widths of per-user uniform jitter around the base
+        exponents. Users then trade frequency against recency
+        differently — the personalized structure TS-PPR's per-user
+        mappings ``A_u`` exploit and globally weighted baselines
+        (Pop, DYRC) cannot.
+    drift_interval, drift_fraction:
+        Taste drift passed through to
+        :func:`repro.synth.copying.simulate_user_sequence` — defeats
+        purely static factorizations (PPR, FPMC's user-item term).
+    """
+
+    name: str
+    n_users: int = 60
+    n_items: int = 4000
+    sequence_length_range: Tuple[int, int] = (220, 420)
+    catalog_size_range: Tuple[int, int] = (40, 120)
+    zipf_exponent: float = 1.0
+    p_explore_range: Tuple[float, float] = (0.3, 0.5)
+    memory_span: int = 150
+    frequency_exponent: float = 1.0
+    recency_exponent: float = 1.0
+    affinity_strength: float = 0.5
+    explore_weight_exponent: float = 1.0
+    resume_probability: float = 0.0
+    resume_min_gap: int = 10
+    frequency_heterogeneity: float = 0.0
+    recency_heterogeneity: float = 0.0
+    drift_interval: int = 0
+    drift_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0 or self.n_items <= 0:
+            raise DataError("n_users and n_items must be positive")
+        low, high = self.sequence_length_range
+        if not 0 < low <= high:
+            raise DataError(
+                f"invalid sequence_length_range {self.sequence_length_range}"
+            )
+        low, high = self.catalog_size_range
+        if not 0 < low <= high:
+            raise DataError(f"invalid catalog_size_range {self.catalog_size_range}")
+        if high > self.n_items:
+            raise DataError(
+                f"catalog size {high} exceeds universe size {self.n_items}"
+            )
+        low, high = self.p_explore_range
+        if not 0 <= low <= high <= 1:
+            raise DataError(f"invalid p_explore_range {self.p_explore_range}")
+        if self.memory_span <= 0:
+            raise DataError(f"memory_span must be positive, got {self.memory_span}")
+
+    def scaled(self, user_factor: float = 1.0, length_factor: float = 1.0) -> "SyntheticConfig":
+        """A resized copy — used by the fast benchmark profile."""
+        low, high = self.sequence_length_range
+        return replace(
+            self,
+            n_users=max(2, int(self.n_users * user_factor)),
+            sequence_length_range=(
+                max(10, int(low * length_factor)),
+                max(10, int(high * length_factor)),
+            ),
+        )
+
+
+def generate_dataset(
+    config: SyntheticConfig,
+    random_state: RandomState = None,
+) -> Dataset:
+    """Generate a full dataset from a synthetic configuration.
+
+    Each user gets an independent child RNG, so adding users never
+    perturbs existing users' sequences for a fixed seed.
+    """
+    rng = ensure_rng(random_state)
+    popularity = ZipfPopularity(config.n_items, config.zipf_exponent)
+    probabilities = popularity.probabilities
+
+    sequences = []
+    children = spawn(rng, config.n_users)
+    for user, child in enumerate(children):
+        length = int(
+            child.integers(
+                config.sequence_length_range[0],
+                config.sequence_length_range[1] + 1,
+            )
+        )
+        catalog_size = int(
+            child.integers(
+                config.catalog_size_range[0],
+                config.catalog_size_range[1] + 1,
+            )
+        )
+        p_explore = float(
+            child.uniform(config.p_explore_range[0], config.p_explore_range[1])
+        )
+        catalog = popularity.sample_distinct(catalog_size, child)
+        catalog_weights = probabilities[catalog] ** config.explore_weight_exponent
+        frequency_exponent = max(
+            0.0,
+            config.frequency_exponent
+            + float(child.uniform(-1.0, 1.0)) * config.frequency_heterogeneity,
+        )
+        recency_exponent = max(
+            0.0,
+            config.recency_exponent
+            + float(child.uniform(-1.0, 1.0)) * config.recency_heterogeneity,
+        )
+        items = simulate_user_sequence(
+            length=length,
+            catalog=catalog,
+            catalog_weights=catalog_weights,
+            p_explore=p_explore,
+            memory_span=config.memory_span,
+            frequency_exponent=frequency_exponent,
+            recency_exponent=recency_exponent,
+            affinity_strength=config.affinity_strength,
+            resume_probability=config.resume_probability,
+            resume_min_gap=config.resume_min_gap,
+            drift_interval=config.drift_interval,
+            drift_fraction=config.drift_fraction,
+            random_state=child,
+        )
+        sequences.append(ConsumptionSequence(user, items))
+
+    return Dataset(
+        sequences,
+        Vocabulary.identity(config.n_items),
+        name=config.name,
+    )

@@ -1,0 +1,105 @@
+"""Lastfm-like music-listening generator.
+
+The real Last.fm data (Celma 2010) exhibits, per the paper:
+
+* a *high* repeat rate — about 77% of listens are of previously played
+  songs (the paper's Section 1, citing [9]),
+* *flat* feature-rank curves (Fig 4's Lastfm panels) — repeats spread
+  over many songs, so quality/reconsumption/familiarity discriminate
+  weakly and TS-PPR's improvement is smaller,
+* accuracy *rising* with Ω (Fig 11: the shrinking candidate set
+  dominates the weak recency effect).
+
+The preset realizes that regime: large personal catalogs, low explore
+probability, weak frequency/recency exponents, weak affinities.
+
+:func:`write_lastfm_event_log` additionally emits a raw event log with
+play durations where a configurable fraction of listens are sub-30-second
+skips, exercising the paper's "listens shorter than 30 seconds are
+dislikes" loader filter end to end.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.data.dataset import Dataset
+from repro.data.loaders import EventRecord, write_events
+from repro.rng import RandomState, ensure_rng
+from repro.synth.base import SyntheticConfig, generate_dataset
+
+#: Parameters reproducing the Lastfm regime (laptop scale).
+LASTFM_PRESET = SyntheticConfig(
+    name="Lastfm-like",
+    n_users=48,
+    n_items=6000,
+    sequence_length_range=(320, 560),
+    catalog_size_range=(200, 380),
+    zipf_exponent=0.9,
+    p_explore_range=(0.16, 0.30),
+    memory_span=220,
+    frequency_exponent=0.65,
+    recency_exponent=0.15,
+    affinity_strength=0.9,
+    explore_weight_exponent=0.35,
+    resume_probability=0.05,
+    frequency_heterogeneity=0.3,
+    recency_heterogeneity=0.1,
+)
+
+
+def generate_lastfm(
+    random_state: RandomState = None,
+    user_factor: float = 1.0,
+    length_factor: float = 1.0,
+) -> Dataset:
+    """Generate a Lastfm-like listening dataset."""
+    config = LASTFM_PRESET
+    if user_factor != 1.0 or length_factor != 1.0:
+        config = config.scaled(user_factor, length_factor)
+    return generate_dataset(config, random_state)
+
+
+def write_lastfm_event_log(
+    path: Union[str, Path],
+    dataset: Dataset,
+    skip_fraction: float = 0.08,
+    random_state: RandomState = None,
+) -> int:
+    """Write ``dataset`` as a raw listening log with play durations.
+
+    A ``skip_fraction`` of *extra* rows are injected with durations under
+    30 seconds (the dislikes the paper's preprocessing removes); all real
+    listens get durations of 30-300 seconds. Loading the file with
+    ``load_event_log(path, min_duration=30.0)`` therefore reconstructs
+    exactly the input dataset's sequences.
+    """
+    if not 0 <= skip_fraction < 1:
+        raise ValueError(f"skip_fraction must lie in [0, 1), got {skip_fraction}")
+    rng = ensure_rng(random_state)
+
+    def _events():
+        clock = 0
+        for sequence in dataset:
+            user_id = str(dataset.user_vocab.id_of(sequence.user))
+            for item in sequence:
+                if skip_fraction and rng.random() < skip_fraction:
+                    # An injected skip: some other song, played < 30s.
+                    skipped = int(rng.integers(dataset.n_items))
+                    yield EventRecord(
+                        user=user_id,
+                        item=str(dataset.item_vocab.id_of(skipped)),
+                        timestamp=float(clock),
+                        duration=float(rng.uniform(2.0, 29.0)),
+                    )
+                    clock += 1
+                yield EventRecord(
+                    user=user_id,
+                    item=str(dataset.item_vocab.id_of(item)),
+                    timestamp=float(clock),
+                    duration=float(rng.uniform(30.0, 300.0)),
+                )
+                clock += 1
+
+    return write_events(path, _events())

@@ -1,0 +1,93 @@
+"""Zipf-distributed item popularity.
+
+Real consumption logs have heavy-tailed item popularity; both the Pop
+baseline's usefulness and the item-quality feature's discriminative
+power (Fig 4a) depend on it. :class:`ZipfPopularity` provides an
+explicit, truncated Zipf distribution over a finite item universe with
+O(log n) inverse-CDF sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.rng import RandomState, ensure_rng
+
+
+class ZipfPopularity:
+    """Truncated Zipf distribution over items ``0..n_items-1``.
+
+    ``P(item at popularity rank r) ∝ (r + 1)^(−exponent)``; item index
+    equals popularity rank (item 0 is the most popular), which keeps
+    generated data easy to reason about in tests.
+
+    Parameters
+    ----------
+    n_items:
+        Universe size.
+    exponent:
+        Zipf exponent ``s >= 0``; 0 degenerates to uniform.
+    """
+
+    def __init__(self, n_items: int, exponent: float = 1.0) -> None:
+        if n_items <= 0:
+            raise DataError(f"n_items must be positive, got {n_items}")
+        if exponent < 0:
+            raise DataError(f"exponent must be non-negative, got {exponent}")
+        self.n_items = n_items
+        self.exponent = exponent
+        weights = (np.arange(1, n_items + 1, dtype=np.float64)) ** (-exponent)
+        self._probabilities = weights / weights.sum()
+        self._cdf = np.cumsum(self._probabilities)
+        # Guard against floating-point drift at the tail.
+        self._cdf[-1] = 1.0
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The full probability vector (read-only use)."""
+        return self._probabilities
+
+    def sample(self, size: int, random_state: RandomState = None) -> np.ndarray:
+        """Draw ``size`` item indices by inverse-CDF sampling."""
+        if size < 0:
+            raise DataError(f"size must be non-negative, got {size}")
+        rng = ensure_rng(random_state)
+        uniforms = rng.random(size)
+        return np.searchsorted(self._cdf, uniforms, side="left").astype(np.int64)
+
+    def sample_distinct(
+        self,
+        size: int,
+        random_state: RandomState = None,
+        max_attempts_factor: int = 50,
+    ) -> np.ndarray:
+        """Draw ``size`` *distinct* items, popularity-biased.
+
+        Used to build per-user catalogs: popular items appear in many
+        users' catalogs, rare items in few. Falls back to uniform
+        top-up if rejection sampling stalls (tiny universes).
+        """
+        if size > self.n_items:
+            raise DataError(
+                f"cannot draw {size} distinct items from a universe of "
+                f"{self.n_items}"
+            )
+        rng = ensure_rng(random_state)
+        chosen: "set[int]" = set()
+        attempts = 0
+        max_attempts = max_attempts_factor * size
+        while len(chosen) < size and attempts < max_attempts:
+            draws = self.sample(size, rng)
+            for item in draws.tolist():
+                chosen.add(item)
+                if len(chosen) == size:
+                    break
+            attempts += size
+        if len(chosen) < size:
+            remaining = np.setdiff1d(
+                np.arange(self.n_items), np.fromiter(chosen, dtype=np.int64)
+            )
+            extra = rng.choice(remaining, size - len(chosen), replace=False)
+            chosen.update(int(e) for e in extra)
+        return np.fromiter(sorted(chosen), dtype=np.int64)

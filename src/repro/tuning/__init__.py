@@ -1,0 +1,12 @@
+"""Hyper-parameter search over :class:`~repro.config.TSPPRConfig`.
+
+The paper's Section 5.5 sweeps λ, γ, K, S, and Ω one axis at a time;
+:class:`~repro.tuning.grid.GridSearch` generalizes that into a reusable
+utility: give it a parameter grid (including the window's ``min_gap``),
+it trains one model per point, evaluates with the RRC protocol, and
+returns a ranked table of results.
+"""
+
+from repro.tuning.grid import GridPointResult, GridSearch, expand_grid
+
+__all__ = ["GridPointResult", "GridSearch", "expand_grid"]

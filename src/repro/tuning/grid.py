@@ -1,0 +1,159 @@
+"""Grid search for TS-PPR (and config-compatible models).
+
+Example
+-------
+>>> from repro.tuning import GridSearch
+>>> search = GridSearch(
+...     {"n_factors": [10, 40], "gamma_latent": [0.05, 0.1]},
+...     metric="maap", top_n=10,
+... )  # doctest: +SKIP
+>>> best = search.fit(split).best  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Sequence
+
+from repro.config import EvaluationConfig, TSPPRConfig, WindowConfig
+from repro.data.split import SplitDataset
+from repro.evaluation.metrics import AccuracyResult
+from repro.evaluation.protocol import evaluate_recommender
+from repro.exceptions import ExperimentError
+from repro.logging_utils import get_logger
+from repro.models.base import Recommender
+from repro.models.tsppr import TSPPRRecommender
+
+logger = get_logger("tuning")
+
+#: Grid keys routed to the window protocol rather than the model config.
+WINDOW_KEYS = ("window_size", "min_gap")
+
+
+def expand_grid(grid: Mapping[str, Sequence]) -> Iterator[Dict[str, object]]:
+    """Yield every combination of the grid as a flat dict.
+
+    Keys are iterated in sorted order so the expansion is deterministic
+    regardless of dict construction order.
+    """
+    if not grid:
+        raise ExperimentError("grid must contain at least one parameter")
+    keys = sorted(grid)
+    for key in keys:
+        if not grid[key]:
+            raise ExperimentError(f"grid axis {key!r} is empty")
+    for values in itertools.product(*(grid[key] for key in keys)):
+        yield dict(zip(keys, values))
+
+
+@dataclass(frozen=True)
+class GridPointResult:
+    """One evaluated grid point."""
+
+    parameters: Mapping[str, object]
+    accuracy: AccuracyResult
+    score: float
+
+    def as_row(self) -> Dict[str, object]:
+        row = dict(self.parameters)
+        row["score"] = round(self.score, 4)
+        return row
+
+
+@dataclass
+class GridSearch:
+    """Exhaustive search over a TS-PPR parameter grid.
+
+    Parameters
+    ----------
+    grid:
+        Axis name → values. Axes may be any
+        :class:`~repro.config.TSPPRConfig` field plus the window keys
+        ``window_size`` / ``min_gap``.
+    base_config:
+        Starting configuration each point overrides.
+    metric:
+        ``"maap"`` or ``"miap"``.
+    top_n:
+        Cut-off the score is read at.
+    model_factory:
+        Model built per point; defaults to TS-PPR. Receives the
+        resolved :class:`TSPPRConfig`.
+    """
+
+    grid: Mapping[str, Sequence]
+    base_config: TSPPRConfig = field(default_factory=TSPPRConfig)
+    metric: str = "maap"
+    top_n: int = 10
+    model_factory: Callable[[TSPPRConfig], Recommender] = TSPPRRecommender
+    results: List[GridPointResult] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("maap", "miap"):
+            raise ExperimentError(
+                f"metric must be 'maap' or 'miap', got {self.metric!r}"
+            )
+        if self.top_n <= 0:
+            raise ExperimentError(f"top_n must be positive, got {self.top_n}")
+        config_fields = set(TSPPRConfig.__dataclass_fields__)
+        for key in self.grid:
+            if key not in config_fields and key not in WINDOW_KEYS:
+                raise ExperimentError(
+                    f"unknown grid axis {key!r}; config fields or "
+                    f"{WINDOW_KEYS} expected"
+                )
+
+    def fit(self, split: SplitDataset) -> "GridSearch":
+        """Train and evaluate every grid point; results sorted best-first."""
+        self.results = []
+        for parameters in expand_grid(self.grid):
+            window_overrides = {
+                key: parameters[key] for key in WINDOW_KEYS if key in parameters
+            }
+            config_overrides = {
+                key: value
+                for key, value in parameters.items()
+                if key not in WINDOW_KEYS
+            }
+            config = (
+                self.base_config.with_overrides(**config_overrides)
+                if config_overrides
+                else self.base_config
+            )
+            base_window = WindowConfig()
+            window = WindowConfig(
+                window_size=window_overrides.get(
+                    "window_size", base_window.window_size
+                ),
+                min_gap=window_overrides.get("min_gap", base_window.min_gap),
+            )
+            logger.info("grid point %s", parameters)
+            model = self.model_factory(config)
+            model.fit(split, window)
+            accuracy = evaluate_recommender(
+                model,
+                split,
+                EvaluationConfig(top_ns=(self.top_n,), window=window),
+            )
+            values = accuracy.maap if self.metric == "maap" else accuracy.miap
+            self.results.append(
+                GridPointResult(
+                    parameters=dict(parameters),
+                    accuracy=accuracy,
+                    score=values[self.top_n],
+                )
+            )
+        self.results.sort(key=lambda point: -point.score)
+        return self
+
+    @property
+    def best(self) -> GridPointResult:
+        """The highest-scoring grid point."""
+        if not self.results:
+            raise ExperimentError("GridSearch.fit has not been run")
+        return self.results[0]
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """All points as table rows, best first."""
+        return [point.as_row() for point in self.results]

@@ -1,0 +1,35 @@
+"""Time windows, repeat/novel labeling, and RRC candidate sets.
+
+Conventions (0-based positions, window *before* a position):
+
+* ``window_before(sequence, t, size)`` covers positions
+  ``[max(0, t - size), t - 1]`` — the paper's ``W_{u, t-1}`` when the
+  next incoming consumption is ``x_t``.
+* ``x_t`` is a *repeat* iff its item occurs in that window.
+* ``x_t`` is a *valid RRC target* iff it is a repeat **and** the item was
+  not consumed in the last ``Ω`` positions ``[t - Ω, t - 1]``
+  (Section 5.1: recently consumed items need no recommendation).
+* The *candidate set* at ``t`` is the distinct items of the window minus
+  the items of the last ``Ω`` positions.
+"""
+
+from repro.windows.repeat import (
+    candidate_items,
+    is_repeat,
+    is_valid_target,
+    iter_evaluation_positions,
+    iter_repeat_positions,
+    recent_items,
+)
+from repro.windows.window import WindowView, window_before
+
+__all__ = [
+    "WindowView",
+    "candidate_items",
+    "is_repeat",
+    "is_valid_target",
+    "iter_evaluation_positions",
+    "iter_repeat_positions",
+    "recent_items",
+    "window_before",
+]

@@ -1,0 +1,130 @@
+"""Repeat/novel labeling and RRC candidate construction.
+
+All functions take a 0-based position ``t`` naming the consumption being
+classified or predicted (``x_t`` in 1-based paper notation maps to
+position ``t - 1`` here). The window used is always the one *before*
+``t`` — ``W_{u, t-1}`` in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import DataError
+from repro.windows.window import WindowView, window_before
+
+
+def recent_items(sequence: ConsumptionSequence, t: int, min_gap: int) -> Set[int]:
+    """Items consumed in the last ``min_gap`` positions before ``t``.
+
+    These are the items the paper deems trivially remembered and
+    therefore excluded both from recommendation candidates and from
+    evaluation targets (parameter ``Ω``, Section 5.1).
+    """
+    if min_gap < 0:
+        raise DataError(f"min_gap must be non-negative, got {min_gap}")
+    start = max(0, t - min_gap)
+    return set(sequence.items[start:t].tolist())
+
+
+def is_repeat(sequence: ConsumptionSequence, t: int, window_size: int) -> bool:
+    """Whether the consumption at position ``t`` repeats from its window."""
+    if not 0 <= t < len(sequence):
+        raise DataError(
+            f"position {t} outside [0, {len(sequence)}) for user {sequence.user}"
+        )
+    window = window_before(sequence, t, window_size)
+    return sequence[t] in window
+
+
+def is_valid_target(
+    sequence: ConsumptionSequence,
+    t: int,
+    window_size: int,
+    min_gap: int,
+) -> bool:
+    """Whether position ``t`` is an RRC training/evaluation target.
+
+    True iff ``x_t`` is a repeat from its window **and** the same item
+    was not consumed within the last ``min_gap`` positions.
+    """
+    if not is_repeat(sequence, t, window_size):
+        return False
+    return sequence[t] not in recent_items(sequence, t, min_gap)
+
+
+def candidate_items(
+    sequence: ConsumptionSequence,
+    t: int,
+    window_size: int,
+    min_gap: int,
+) -> List[int]:
+    """The RRC candidate set at position ``t`` (sorted for determinism).
+
+    Distinct items of the window before ``t``, minus items consumed in
+    the last ``min_gap`` positions.
+    """
+    window = window_before(sequence, t, window_size)
+    excluded = recent_items(sequence, t, min_gap)
+    return sorted(window.item_set - excluded)
+
+
+def iter_repeat_positions(
+    sequence: ConsumptionSequence,
+    window_size: int,
+    min_gap: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> Iterator[Tuple[int, WindowView]]:
+    """Yield ``(t, window_before_t)`` for every valid RRC target position.
+
+    Scans positions ``[max(start, 1), stop)`` (``stop`` defaults to the
+    sequence length). Used both for training-positive extraction (scan
+    the training prefix) and for evaluation (scan the test suffix with
+    full history available).
+
+    The scan maintains the window incrementally through per-item
+    last-occurrence bookkeeping, so a full pass is O(length) in window
+    membership checks rather than O(length × window_size).
+    """
+    if stop is None:
+        stop = len(sequence)
+    if not 0 <= start <= stop <= len(sequence):
+        raise DataError(
+            f"invalid scan range [{start}, {stop}) for sequence of length "
+            f"{len(sequence)}"
+        )
+    items = sequence.items
+    for t in range(max(start, 1), stop):
+        item = int(items[t])
+        last = sequence.last_position_before(item, t)
+        if last < 0:
+            continue
+        gap = t - last
+        if gap > window_size:
+            continue  # not in the window: a novel (re)consumption
+        if gap <= min_gap:
+            continue  # too recent: excluded by Ω
+        yield t, window_before(sequence, t, window_size)
+
+
+def iter_evaluation_positions(
+    sequence: ConsumptionSequence,
+    boundary: int,
+    window_size: int,
+    min_gap: int,
+) -> Iterator[Tuple[int, List[int]]]:
+    """Yield ``(t, candidates)`` for each test-side RRC target.
+
+    ``boundary`` is the first test position; windows may reach back into
+    the training prefix, which is exactly the paper's protocol (the test
+    sequence continues the user's history).
+    """
+    for t, window in iter_repeat_positions(
+        sequence, window_size, min_gap, start=boundary
+    ):
+        excluded = recent_items(sequence, t, min_gap)
+        candidates = sorted(window.item_set - excluded)
+        if candidates:
+            yield t, candidates

@@ -1,0 +1,120 @@
+"""Window views over consumption sequences.
+
+A :class:`WindowView` is a lightweight snapshot of the trailing portion
+of a user's history right before some position ``t``. It exposes the
+quantities the behavioural features need — per-item counts inside the
+window and the window length — without copying more than one slice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+import numpy as np
+
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import DataError
+
+
+class WindowView:
+    """The consumptions at positions ``[start, end)`` of one sequence.
+
+    Attributes
+    ----------
+    user:
+        Dense user index the window belongs to.
+    start, end:
+        Half-open position range within the owning sequence. ``end`` is
+        the position the window is "before": recommending ``x_end`` uses
+        exactly this view.
+    items:
+        Read-only array of the item indices inside the window, oldest
+        first.
+    """
+
+    __slots__ = ("user", "start", "end", "items", "_counts", "_item_set")
+
+    def __init__(self, user: int, start: int, end: int, items: np.ndarray) -> None:
+        self.user = user
+        self.start = start
+        self.end = end
+        self.items = items
+        self._counts: Dict[int, int] = {}
+        self._item_set: FrozenSet[int] = frozenset()
+        counts: Dict[int, int] = {}
+        for item in items.tolist():
+            counts[item] = counts.get(item, 0) + 1
+        self._counts = counts
+        self._item_set = frozenset(counts)
+
+    def __len__(self) -> int:
+        return int(self.items.size)
+
+    def __contains__(self, item: int) -> bool:
+        return int(item) in self._item_set
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowView(user={self.user}, start={self.start}, "
+            f"end={self.end}, length={len(self)})"
+        )
+
+    @property
+    def item_set(self) -> FrozenSet[int]:
+        """Distinct items present in the window."""
+        return self._item_set
+
+    def count(self, item: int) -> int:
+        """How many times ``item`` occurs in the window."""
+        return self._counts.get(int(item), 0)
+
+    def distinct_items(self) -> List[int]:
+        """Distinct items, sorted ascending for determinism."""
+        return sorted(self._item_set)
+
+    def familiarity(self, item: int) -> float:
+        """The dynamic-familiarity feature ``m_vt`` (Eq 21) for ``item``.
+
+        Fraction of the window's consumptions that are ``item``; 0 for an
+        empty window.
+        """
+        length = len(self)
+        if length == 0:
+            return 0.0
+        return self.count(item) / length
+
+    def last_occurrence(self, item: int) -> int:
+        """Most recent position ``< end`` where ``item`` occurs, or -1."""
+        item = int(item)
+        if item not in self._item_set:
+            return -1
+        local = np.flatnonzero(self.items == item)
+        return self.start + int(local[-1])
+
+
+def window_before(
+    sequence: ConsumptionSequence,
+    t: int,
+    window_size: int,
+) -> WindowView:
+    """The window of up to ``window_size`` consumptions before position ``t``.
+
+    This is the paper's ``W_{u, t-1}`` when the incoming consumption is
+    ``x_t``: positions ``[max(0, t - window_size), t - 1]``. For small
+    ``t`` the window is simply shorter.
+
+    Raises
+    ------
+    DataError
+        If ``t`` lies outside ``[0, len(sequence)]`` (``t == len`` is
+        allowed: recommending the not-yet-observed next consumption) or
+        ``window_size`` is not positive.
+    """
+    if window_size <= 0:
+        raise DataError(f"window_size must be positive, got {window_size}")
+    if not 0 <= t <= len(sequence):
+        raise DataError(
+            f"position {t} outside [0, {len(sequence)}] for user {sequence.user}"
+        )
+    start = max(0, t - window_size)
+    return WindowView(sequence.user, start, t, sequence.items[start:t])

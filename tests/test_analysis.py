@@ -1,0 +1,117 @@
+"""Tests for repro.analysis — profiles, decomposition, lifetimes."""
+
+import pytest
+
+from repro.analysis.decomposition import decompose_repeats
+from repro.analysis.lifetimes import item_lifetimes, lifetime_summary
+from repro.analysis.profiles import dataset_profile_summary, user_profiles
+from repro.config import WindowConfig
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+
+
+class TestUserProfiles:
+    def test_hand_computed_profile(self):
+        dataset = Dataset.from_user_items([[0, 1, 0, 2, 0, 1]], n_items=3)
+        (profile,) = user_profiles(dataset)
+        assert profile.n_consumptions == 6
+        assert profile.n_distinct_items == 3
+        assert profile.repeat_ratio == pytest.approx(3 / 5)
+        # Gaps: 0@(0->2)=2, 0@(2->4)=2, 1@(1->5)=4.
+        assert profile.mean_repeat_gap == pytest.approx(8 / 3)
+        assert profile.median_repeat_gap == pytest.approx(2.0)
+        # Item 0 consumed 3 of 6 times.
+        assert profile.top_item_share == pytest.approx(0.5)
+
+    def test_all_novel_user(self):
+        dataset = Dataset.from_user_items([[0, 1, 2, 3]], n_items=4)
+        (profile,) = user_profiles(dataset)
+        assert profile.repeat_ratio == 0.0
+        assert profile.mean_repeat_gap == 0.0
+
+    def test_single_item_user(self):
+        dataset = Dataset.from_user_items([[5] * 10], n_items=6)
+        (profile,) = user_profiles(dataset)
+        assert profile.repeat_ratio == 1.0
+        assert profile.top_item_share == 1.0
+        assert profile.novelty_half_life == 0
+
+    def test_novelty_half_life(self):
+        # 4 distinct items; half (the 2nd) first seen at position 1.
+        dataset = Dataset.from_user_items([[0, 1, 1, 1, 2, 3]], n_items=4)
+        (profile,) = user_profiles(dataset)
+        assert profile.novelty_half_life == 1
+
+    def test_summary_means(self, gowalla_dataset):
+        summary = dataset_profile_summary(gowalla_dataset)
+        assert 0.0 < summary["mean_repeat_ratio"] < 1.0
+        assert summary["mean_distinct_items"] > 1
+        assert summary["mean_top_item_share"] <= 1.0
+
+    def test_summary_empty_dataset_raises(self):
+        with pytest.raises(DataError):
+            dataset_profile_summary(Dataset.from_user_items([], n_items=0))
+
+
+class TestDecomposition:
+    def test_shares_sum_to_one(self, gowalla_dataset):
+        decomposition = decompose_repeats(gowalla_dataset)
+        assert decomposition.n_events > 0
+        total = (
+            decomposition.quality_share
+            + decomposition.recency_share
+            + decomposition.both_share
+            + decomposition.neither_share
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_empty_dataset(self):
+        dataset = Dataset.from_user_items([[0, 1, 2]], n_items=3)
+        decomposition = decompose_repeats(dataset)
+        assert decomposition.n_events == 0
+
+    def test_quality_driven_sequence(self):
+        # Item 0 returns every third step among otherwise one-off items,
+        # so each qualifying repeat picks the max-count (and most recent
+        # eligible) candidate: quality- or both-driven events dominate.
+        window = WindowConfig(window_size=10, min_gap=2)
+        items = [0, 1, 2]
+        fresh = 3
+        for _ in range(5):
+            items += [0, fresh, fresh + 1]
+            fresh += 2
+        dataset = Dataset.from_user_items([items], n_items=fresh)
+        decomposition = decompose_repeats(dataset, window)
+        assert decomposition.n_events > 0
+        assert decomposition.quality_share + decomposition.both_share >= 0.5
+
+
+class TestLifetimes:
+    def test_hand_computed(self):
+        dataset = Dataset.from_user_items([[3, 1, 3, 2, 3]], n_items=4)
+        lifetimes = item_lifetimes(dataset)
+        assert len(lifetimes) == 1  # only item 3 has >= 2 consumptions
+        (lifetime,) = lifetimes
+        assert lifetime.item == 3
+        assert lifetime.first_position == 0
+        assert lifetime.last_position == 4
+        assert lifetime.span == 5
+        assert lifetime.n_consumptions == 3
+        assert lifetime.intensity == pytest.approx(0.6)
+
+    def test_min_consumptions_filter(self):
+        dataset = Dataset.from_user_items([[0, 0, 1, 1, 1]], n_items=2)
+        assert len(item_lifetimes(dataset, min_consumptions=3)) == 1
+        assert len(item_lifetimes(dataset, min_consumptions=2)) == 2
+        with pytest.raises(ValueError):
+            item_lifetimes(dataset, min_consumptions=0)
+
+    def test_summary(self, gowalla_dataset):
+        summary = lifetime_summary(gowalla_dataset)
+        assert summary["mean_span"] > 1
+        assert 0.0 < summary["mean_intensity"] <= 1.0
+
+    def test_summary_no_lifetimes(self):
+        dataset = Dataset.from_user_items([[0, 1, 2]], n_items=3)
+        summary = lifetime_summary(dataset)
+        assert summary["mean_span"] == 0.0

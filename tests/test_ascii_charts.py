@@ -1,0 +1,92 @@
+"""Tests for repro.evaluation.ascii_charts."""
+
+import pytest
+
+from repro.evaluation.ascii_charts import bar_chart, line_chart, sparkline
+from repro.exceptions import EvaluationError
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart({"a": 0.5, "b": 1.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        text = bar_chart({"short": 1.0, "a-long-label": 1.0}, width=4)
+        lines = text.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_zero_values_render_empty_bars(self):
+        text = bar_chart({"a": 0.0, "b": 0.0}, width=8)
+        assert "#" not in text
+
+    def test_values_printed(self):
+        text = bar_chart({"m": 0.1234}, width=5)
+        assert "0.1234" in text
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            bar_chart({})
+        with pytest.raises(EvaluationError):
+            bar_chart({"a": 1.0}, width=0)
+        with pytest.raises(EvaluationError):
+            bar_chart({"a": -1.0})
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        text = line_chart({"s": [(0, 0), (1, 1)]}, width=20, height=5)
+        lines = text.splitlines()
+        framed = [line for line in lines if line.startswith("|")]
+        assert len(framed) == 5
+        assert all(len(line) == 22 for line in framed)
+
+    def test_extremes_on_frame(self):
+        text = line_chart({"s": [(0, 0), (10, 3)]}, width=10, height=4)
+        assert "y_max=3" in text
+        assert "y_min=0" in text
+        assert "0 .. 10" in text
+
+    def test_monotone_series_renders_diagonal(self):
+        text = line_chart({"s": [(0, 0), (1, 1), (2, 2)]}, width=3, height=3)
+        framed = [line for line in text.splitlines() if line.startswith("|")]
+        # Bottom-left, center, top-right.
+        assert framed[2][1] == "o"
+        assert framed[1][2] == "o"
+        assert framed[0][3] == "o"
+
+    def test_multiple_series_get_symbols_and_legend(self):
+        text = line_chart(
+            {"first": [(0, 0)], "second": [(1, 1)]}, width=6, height=3
+        )
+        assert "o = first" in text
+        assert "x = second" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = line_chart({"flat": [(0, 2), (1, 2)]}, width=5, height=3)
+        assert "y_max=2" in text
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            line_chart({})
+        with pytest.raises(EvaluationError):
+            line_chart({"s": []})
+        with pytest.raises(EvaluationError):
+            line_chart({"s": [(0, 0)]}, width=1)
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_single_value(self):
+        assert sparkline([7]) == "▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            sparkline([])

@@ -1,0 +1,103 @@
+"""Tests for repro.evaluation.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.calibration import (
+    brier_score,
+    collect_switch_probabilities,
+    reliability_curve,
+    resolution,
+)
+from repro.exceptions import EvaluationError, NotFittedError
+from repro.models.strec import STRECClassifier
+
+
+class TestBrierScore:
+    def test_perfect_predictions(self):
+        assert brier_score([1.0, 0.0], [1, 0]) == 0.0
+
+    def test_worst_predictions(self):
+        assert brier_score([0.0, 1.0], [1, 0]) == 1.0
+
+    def test_constant_predictor_scores_base_variance(self):
+        labels = np.array([1, 1, 1, 0])
+        score = brier_score(np.full(4, 0.75), labels)
+        assert score == pytest.approx(0.75 * 0.25)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            brier_score([0.5], [1, 0])
+        with pytest.raises(EvaluationError):
+            brier_score([], [])
+        with pytest.raises(EvaluationError):
+            brier_score([1.5], [1])
+
+
+class TestReliabilityCurve:
+    def test_bins_cover_predictions(self, rng):
+        probabilities = rng.random(500)
+        labels = (rng.random(500) < probabilities).astype(float)
+        bins = reliability_curve(probabilities, labels, n_bins=5)
+        assert sum(b.count for b in bins) == 500
+        for b in bins:
+            assert b.lower <= b.mean_predicted <= b.upper + 1e-12
+
+    def test_calibrated_predictor_lies_near_diagonal(self, rng):
+        probabilities = rng.random(20_000)
+        labels = (rng.random(20_000) < probabilities).astype(float)
+        bins = reliability_curve(probabilities, labels, n_bins=5)
+        for b in bins:
+            assert b.empirical_rate == pytest.approx(b.mean_predicted, abs=0.05)
+
+    def test_constant_predictor_occupies_one_bin(self):
+        bins = reliability_curve(np.full(50, 0.42), np.ones(50), n_bins=10)
+        assert len(bins) == 1
+        assert bins[0].count == 50
+
+    def test_edge_probability_one_included(self):
+        bins = reliability_curve(np.array([1.0, 1.0]), np.array([1, 1]), 4)
+        assert sum(b.count for b in bins) == 2
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            reliability_curve([0.5], [1], n_bins=0)
+        with pytest.raises(EvaluationError):
+            reliability_curve([], [], n_bins=3)
+
+
+class TestResolution:
+    def test_constant_predictor_has_zero_resolution(self):
+        labels = np.array([1, 0, 1, 1, 0, 1])
+        assert resolution(np.full(6, 0.66), labels) == pytest.approx(0.0)
+
+    def test_discriminating_predictor_has_positive_resolution(self, rng):
+        probabilities = np.concatenate([np.full(500, 0.1), np.full(500, 0.9)])
+        labels = (rng.random(1000) < probabilities).astype(float)
+        assert resolution(probabilities, labels) > 0.05
+
+
+class TestCollectSwitchProbabilities:
+    def test_requires_fitted_switch(self, gowalla_split):
+        with pytest.raises(NotFittedError):
+            collect_switch_probabilities(STRECClassifier(), gowalla_split)
+
+    def test_probabilities_and_labels_align(self, gowalla_split):
+        strec = STRECClassifier().fit(gowalla_split)
+        probabilities, labels = collect_switch_probabilities(
+            strec, gowalla_split, max_positions_per_user=40
+        )
+        assert probabilities.shape == labels.shape
+        assert probabilities.size > 0
+        assert np.all((0 <= probabilities) & (probabilities <= 1))
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+
+    def test_brier_beats_coin_flip(self, gowalla_split):
+        strec = STRECClassifier().fit(gowalla_split)
+        probabilities, labels = collect_switch_probabilities(
+            strec, gowalla_split, max_positions_per_user=40
+        )
+        # Even a base-rate switch beats p=0.5 on repeat-heavy data.
+        assert brier_score(probabilities, labels) < brier_score(
+            np.full_like(probabilities, 0.5), labels
+        )

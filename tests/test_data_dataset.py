@@ -1,0 +1,93 @@
+"""Tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.sequence import ConsumptionSequence
+from repro.data.vocab import Vocabulary
+from repro.exceptions import DataError
+
+
+class TestConstruction:
+    def test_from_user_items_infers_item_count(self):
+        dataset = Dataset.from_user_items([[0, 2], [1]])
+        assert dataset.n_users == 2
+        assert dataset.n_items == 3
+
+    def test_rejects_misordered_users(self):
+        sequences = [ConsumptionSequence(1, [0])]
+        with pytest.raises(DataError, match="dense and ordered"):
+            Dataset(sequences, Vocabulary.identity(1))
+
+    def test_rejects_items_outside_vocab(self):
+        sequences = [ConsumptionSequence(0, [5])]
+        with pytest.raises(DataError, match="outside vocabulary"):
+            Dataset(sequences, Vocabulary.identity(3))
+
+    def test_rejects_wrong_user_vocab_size(self):
+        sequences = [ConsumptionSequence(0, [0])]
+        with pytest.raises(DataError, match="does not match"):
+            Dataset(sequences, Vocabulary.identity(1), Vocabulary.identity(5))
+
+    def test_sequence_access_bounds(self, tiny_dataset):
+        with pytest.raises(DataError, match="out of range"):
+            tiny_dataset.sequence(99)
+
+
+class TestStatistics:
+    def test_n_consumptions(self, tiny_dataset):
+        assert tiny_dataset.n_consumptions() == 24
+
+    def test_item_frequencies(self, tiny_dataset):
+        freqs = tiny_dataset.item_frequencies()
+        # item 0: three times (user 0) + once (user 3) = 4
+        assert freqs[0] == 4
+        # item 5: six times (user 2) + once (user 3) = 7
+        assert freqs[5] == 7
+        assert freqs.sum() == tiny_dataset.n_consumptions()
+
+    def test_item_frequencies_cached_and_readonly(self, tiny_dataset):
+        first = tiny_dataset.item_frequencies()
+        assert first is tiny_dataset.item_frequencies()
+        with pytest.raises(ValueError):
+            first[0] = 123
+
+    def test_stats_repeat_fraction(self, tiny_dataset):
+        stats = tiny_dataset.stats(window_size=100)
+        # user 0: repeats at t=2,4,5 (3 of 5); user 1: t=2..5 (4 of 5);
+        # user 2: t=1..5 (5 of 5); user 3: none (0 of 5).
+        assert stats.repeat_fraction == pytest.approx(12 / 20)
+
+    def test_stats_window_size_matters(self):
+        dataset = Dataset.from_user_items([[0, 1, 1, 0]], n_items=2)
+        wide = dataset.stats(window_size=10).repeat_fraction
+        narrow = dataset.stats(window_size=1).repeat_fraction
+        # With window 1, only the immediate repetition at t=2 counts.
+        assert wide == pytest.approx(2 / 3)
+        assert narrow == pytest.approx(1 / 3)
+
+    def test_stats_as_row(self, tiny_dataset):
+        row = tiny_dataset.stats().as_row()
+        assert row["Users"] == 4
+        assert row["Consumption"] == 24
+
+
+class TestSubsetUsers:
+    def test_reindexes_users_densely(self, tiny_dataset):
+        subset = tiny_dataset.subset_users([2, 0])
+        assert subset.n_users == 2
+        assert list(subset.sequence(0)) == [5, 5, 5, 5, 5, 5]
+        assert list(subset.sequence(1)) == [0, 1, 0, 2, 0, 1]
+
+    def test_preserves_item_vocab(self, tiny_dataset):
+        subset = tiny_dataset.subset_users([1])
+        assert subset.n_items == tiny_dataset.n_items
+
+    def test_keeps_original_user_ids(self, tiny_dataset):
+        subset = tiny_dataset.subset_users([3])
+        assert subset.user_vocab.id_of(0) == 3
+
+    def test_empty_subset(self, tiny_dataset):
+        subset = tiny_dataset.subset_users([])
+        assert subset.n_users == 0

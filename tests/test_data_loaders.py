@@ -1,0 +1,121 @@
+"""Tests for repro.data.loaders."""
+
+import pytest
+
+from repro.data.loaders import (
+    EventRecord,
+    events_to_dataset,
+    load_event_log,
+    read_events,
+    save_event_log,
+    write_events,
+)
+from repro.exceptions import DataError
+
+
+def _write(path, text):
+    path.write_text(text)
+    return path
+
+
+class TestReadEvents:
+    def test_reads_three_column_rows(self, tmp_path):
+        path = _write(tmp_path / "log.tsv", "u1\ti1\t10.0\nu2\ti2\t5\n")
+        events = list(read_events(path))
+        assert events[0] == EventRecord("u1", "i1", 10.0, None)
+        assert events[1].timestamp == 5.0
+
+    def test_reads_duration_column(self, tmp_path):
+        path = _write(tmp_path / "log.tsv", "u\ti\t1\t25.5\n")
+        (event,) = read_events(path)
+        assert event.duration == pytest.approx(25.5)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = _write(tmp_path / "log.tsv", "u\ti\t1\n\n\nu\tj\t2\n")
+        assert len(list(read_events(path))) == 2
+
+    def test_header_skipped_when_requested(self, tmp_path):
+        path = _write(tmp_path / "log.tsv", "user\titem\tts\nu\ti\t1\n")
+        assert len(list(read_events(path, has_header=True))) == 1
+
+    def test_too_few_columns(self, tmp_path):
+        path = _write(tmp_path / "log.tsv", "u\ti\n")
+        with pytest.raises(DataError, match="expected at least 3"):
+            list(read_events(path))
+
+    def test_bad_timestamp_reports_line(self, tmp_path):
+        path = _write(tmp_path / "log.tsv", "u\ti\t1\nu\ti\tnot-a-number\n")
+        with pytest.raises(DataError, match=":2:"):
+            list(read_events(path))
+
+    def test_bad_duration(self, tmp_path):
+        path = _write(tmp_path / "log.tsv", "u\ti\t1\txx\n")
+        with pytest.raises(DataError, match="duration"):
+            list(read_events(path))
+
+    def test_empty_ids_rejected(self, tmp_path):
+        path = _write(tmp_path / "log.tsv", "\ti\t1\n")
+        with pytest.raises(DataError, match="empty user or item"):
+            list(read_events(path))
+
+    def test_custom_delimiter(self, tmp_path):
+        path = _write(tmp_path / "log.csv", "u,i,3\n")
+        (event,) = read_events(path, delimiter=",")
+        assert event.item == "i"
+
+
+class TestEventsToDataset:
+    def test_groups_and_sorts_by_timestamp(self):
+        events = [
+            EventRecord("u", "b", 2.0),
+            EventRecord("u", "a", 1.0),
+            EventRecord("v", "a", 0.0),
+        ]
+        dataset = events_to_dataset(events)
+        u = dataset.user_vocab.index_of("u")
+        items = [dataset.item_vocab.id_of(i) for i in dataset.sequence(u)]
+        assert items == ["a", "b"]
+
+    def test_stable_order_for_tied_timestamps(self):
+        events = [EventRecord("u", str(i), 1.0) for i in range(5)]
+        dataset = events_to_dataset(events)
+        items = [dataset.item_vocab.id_of(i) for i in dataset.sequence(0)]
+        assert items == ["0", "1", "2", "3", "4"]
+
+    def test_min_duration_filters_short_listens(self):
+        events = [
+            EventRecord("u", "keep", 1.0, duration=45.0),
+            EventRecord("u", "skip", 2.0, duration=10.0),
+            EventRecord("u", "nodur", 3.0, duration=None),
+        ]
+        dataset = events_to_dataset(events, min_duration=30.0)
+        items = [dataset.item_vocab.id_of(i) for i in dataset.sequence(0)]
+        assert items == ["keep", "nodur"]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        events = [EventRecord("u", "i", 1.5, duration=90.0)]
+        path = tmp_path / "log.tsv"
+        assert write_events(path, events) == 1
+        (loaded,) = read_events(path)
+        assert loaded == events[0]
+
+    def test_save_and_load_dataset(self, tmp_path, tiny_dataset):
+        path = tmp_path / "dataset.tsv"
+        n_rows = save_event_log(tiny_dataset, path)
+        assert n_rows == tiny_dataset.n_consumptions()
+        reloaded = load_event_log(path)
+        assert reloaded.n_users == tiny_dataset.n_users
+        # Per-user item-id sequences survive the round trip.
+        for user_id in reloaded.user_vocab:
+            new_user = reloaded.user_vocab.index_of(user_id)
+            old_user = tiny_dataset.user_vocab.index_of(int(user_id))
+            new_items = [
+                reloaded.item_vocab.id_of(i) for i in reloaded.sequence(new_user)
+            ]
+            old_items = [
+                str(tiny_dataset.item_vocab.id_of(i))
+                for i in tiny_dataset.sequence(old_user)
+            ]
+            assert new_items == old_items

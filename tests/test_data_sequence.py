@@ -1,0 +1,122 @@
+"""Tests for repro.data.sequence."""
+
+import numpy as np
+import pytest
+
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import DataError
+
+
+@pytest.fixture()
+def sequence() -> ConsumptionSequence:
+    #          t: 0  1  2  3  4  5
+    return ConsumptionSequence(0, [7, 3, 7, 5, 3, 7])
+
+
+class TestConstruction:
+    def test_length_and_iteration(self, sequence):
+        assert len(sequence) == 6
+        assert list(sequence) == [7, 3, 7, 5, 3, 7]
+
+    def test_items_are_read_only(self, sequence):
+        with pytest.raises(ValueError):
+            sequence.items[0] = 9
+
+    def test_rejects_negative_user(self):
+        with pytest.raises(DataError, match="user"):
+            ConsumptionSequence(-1, [1])
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(DataError, match="non-negative"):
+            ConsumptionSequence(0, [1, -2])
+
+    def test_rejects_2d_items(self):
+        with pytest.raises(DataError, match="one-dimensional"):
+            ConsumptionSequence(0, np.zeros((2, 2), dtype=int))
+
+    def test_empty_sequence_allowed(self):
+        assert len(ConsumptionSequence(0, [])) == 0
+
+    def test_getitem(self, sequence):
+        assert sequence[0] == 7
+        assert sequence[-1] == 7
+        assert list(sequence[1:3]) == [3, 7]
+
+    def test_equality(self):
+        assert ConsumptionSequence(0, [1, 2]) == ConsumptionSequence(0, [1, 2])
+        assert ConsumptionSequence(0, [1, 2]) != ConsumptionSequence(1, [1, 2])
+        assert ConsumptionSequence(0, [1, 2]) != ConsumptionSequence(0, [2, 1])
+
+
+class TestDerivedViews:
+    def test_distinct_items(self, sequence):
+        assert sequence.distinct_items().tolist() == [3, 5, 7]
+
+    def test_positions_of(self, sequence):
+        assert sequence.positions_of(7) == [0, 2, 5]
+        assert sequence.positions_of(3) == [1, 4]
+        assert sequence.positions_of(99) == []
+
+    @pytest.mark.parametrize(
+        "item, t, expected",
+        [
+            (7, 0, -1),   # nothing before position 0
+            (7, 1, 0),
+            (7, 3, 2),
+            (7, 6, 5),
+            (3, 4, 1),
+            (3, 5, 4),
+            (5, 3, -1),
+            (5, 4, 3),
+            (99, 6, -1),
+        ],
+    )
+    def test_last_position_before(self, sequence, item, t, expected):
+        assert sequence.last_position_before(item, t) == expected
+
+    def test_last_position_before_matches_naive(self, sequence):
+        items = sequence.items.tolist()
+        for t in range(len(items) + 1):
+            for item in set(items):
+                naive = max(
+                    (p for p in range(t) if items[p] == item), default=-1
+                )
+                assert sequence.last_position_before(item, t) == naive
+
+    @pytest.mark.parametrize(
+        "item, t, expected",
+        [(7, 0, 0), (7, 3, 2), (7, 6, 3), (3, 5, 2), (5, 6, 1), (99, 6, 0)],
+    )
+    def test_count_before(self, sequence, item, t, expected):
+        assert sequence.count_before(item, t) == expected
+
+
+class TestSlicing:
+    def test_prefix(self, sequence):
+        prefix = sequence.prefix(3)
+        assert list(prefix) == [7, 3, 7]
+        assert prefix.user == sequence.user
+
+    def test_prefix_longer_than_sequence(self, sequence):
+        assert len(sequence.prefix(100)) == 6
+
+    def test_prefix_rejects_negative(self, sequence):
+        with pytest.raises(DataError):
+            sequence.prefix(-1)
+
+    def test_suffix(self, sequence):
+        assert list(sequence.suffix(4)) == [3, 7]
+
+    def test_concat(self, sequence):
+        other = ConsumptionSequence(0, [9, 9])
+        combined = sequence.concat(other)
+        assert list(combined) == [7, 3, 7, 5, 3, 7, 9, 9]
+
+    def test_concat_rejects_other_user(self, sequence):
+        with pytest.raises(DataError, match="users"):
+            sequence.concat(ConsumptionSequence(1, [0]))
+
+    def test_prefix_plus_suffix_reconstructs(self, sequence):
+        for cut in range(len(sequence) + 1):
+            rebuilt = sequence.prefix(cut).concat(sequence.suffix(cut))
+            assert rebuilt == sequence

@@ -1,0 +1,66 @@
+"""Tests for repro.data.split."""
+
+import pytest
+
+from repro.config import SplitConfig
+from repro.data.dataset import Dataset
+from repro.data.split import SplitDataset, temporal_split
+from repro.exceptions import SplitError
+
+
+class TestTemporalSplit:
+    def test_boundary_is_70_percent_floor(self):
+        dataset = Dataset.from_user_items([list(range(10)) * 30], n_items=10)
+        split = temporal_split(
+            dataset, SplitConfig(train_fraction=0.7, min_train_length=10)
+        )
+        assert split.train_boundary(0) == 210
+
+    def test_filters_short_users(self):
+        long_user = [0, 1] * 100   # 200 events -> train 140
+        short_user = [0, 1] * 10   # 20 events -> train 14 < 100
+        dataset = Dataset.from_user_items([long_user, short_user], n_items=2)
+        split = temporal_split(dataset)
+        assert split.n_users == 1
+        assert len(split.full_sequence(0)) == 200
+
+    def test_raises_when_no_user_survives(self):
+        dataset = Dataset.from_user_items([[0, 1, 2]], n_items=3)
+        with pytest.raises(SplitError, match="no user satisfies"):
+            temporal_split(dataset)
+
+    def test_train_test_partition(self, tiny_split):
+        for user in range(tiny_split.n_users):
+            full = tiny_split.full_sequence(user)
+            train = tiny_split.train_sequence(user)
+            test = tiny_split.test_sequence(user)
+            assert len(train) + len(test) == len(full)
+            assert train.concat(test) == full
+
+    def test_train_dataset_contains_only_prefixes(self, tiny_split):
+        train = tiny_split.train_dataset()
+        for user in range(tiny_split.n_users):
+            assert len(train.sequence(user)) == tiny_split.train_boundary(user)
+
+    def test_consumption_counts(self, tiny_split):
+        total = tiny_split.n_train_consumptions() + tiny_split.n_test_consumptions()
+        assert total == tiny_split.dataset.n_consumptions()
+
+    def test_paper_filter_on_realistic_data(self, gowalla_dataset):
+        split = temporal_split(gowalla_dataset)
+        for user in range(split.n_users):
+            assert split.train_boundary(user) >= 100
+
+
+class TestSplitDatasetValidation:
+    def test_rejects_wrong_boundary_count(self, tiny_dataset):
+        with pytest.raises(SplitError, match="boundaries"):
+            SplitDataset(dataset=tiny_dataset, boundaries=(1,))
+
+    def test_rejects_out_of_range_boundary(self, tiny_dataset):
+        with pytest.raises(SplitError, match="outside"):
+            SplitDataset(dataset=tiny_dataset, boundaries=(0, 3, 3, 3))
+
+    def test_rejects_boundary_past_end(self, tiny_dataset):
+        with pytest.raises(SplitError, match="outside"):
+            SplitDataset(dataset=tiny_dataset, boundaries=(7, 3, 3, 3))

@@ -1,0 +1,80 @@
+"""Tests for repro.data.stats."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.stats import (
+    distinct_items_per_user,
+    item_popularity_profile,
+    per_user_repeat_ratio,
+    repeat_gap_histogram,
+    sequence_length_summary,
+)
+
+
+class TestPerUserRepeatRatio:
+    def test_hand_computed(self, tiny_dataset):
+        ratios = per_user_repeat_ratio(tiny_dataset, window_size=100)
+        assert ratios[0] == pytest.approx(3 / 5)  # repeats at t=2,4,5
+        assert ratios[1] == pytest.approx(4 / 5)
+        assert ratios[2] == pytest.approx(1.0)
+        assert ratios[3] == pytest.approx(0.0)
+
+    def test_window_limits_lookback(self):
+        dataset = Dataset.from_user_items([[0, 1, 2, 0]], n_items=3)
+        assert per_user_repeat_ratio(dataset, window_size=2)[0] == 0.0
+        assert per_user_repeat_ratio(dataset, window_size=3)[0] == pytest.approx(1 / 3)
+
+    def test_single_event_user(self):
+        dataset = Dataset.from_user_items([[0]], n_items=1)
+        assert per_user_repeat_ratio(dataset)[0] == 0.0
+
+
+class TestRepeatGapHistogram:
+    def test_counts_gaps(self, tiny_dataset):
+        histogram = repeat_gap_histogram(tiny_dataset, max_gap=10)
+        # user 2 alone contributes five gap-1 pairs; user 1 none at gap 1.
+        assert histogram[1] == 5
+        # user 0: item 0 pairs (0,2) and (2,4); user 1: items 3 and 4 with
+        # two gap-2 pairs each. Total six gap-2 pairs.
+        assert histogram[2] == 6
+        # user 0: item 1 pair (1,5).
+        assert histogram[4] == 1
+
+    def test_overflow_folds_into_last_bin(self):
+        dataset = Dataset.from_user_items([[0, 1, 1, 2, 3, 4, 0]], n_items=5)
+        histogram = repeat_gap_histogram(dataset, max_gap=3)
+        assert histogram[3] == 1  # the gap-6 pair folded to bin 3
+        assert histogram[1] == 1
+
+    def test_rejects_bad_max_gap(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            repeat_gap_histogram(tiny_dataset, max_gap=0)
+
+    def test_total_pairs(self, tiny_dataset):
+        histogram = repeat_gap_histogram(tiny_dataset, max_gap=50)
+        total_pairs = sum(
+            max(0, len(seq.positions_of(item)) - 1)
+            for seq in tiny_dataset
+            for item in set(seq.items.tolist())
+        )
+        assert histogram.sum() == total_pairs
+
+
+class TestProfiles:
+    def test_popularity_profile_monotone(self, gowalla_dataset):
+        profile = item_popularity_profile(gowalla_dataset)
+        assert np.all(np.diff(profile) >= 0)
+
+    def test_popularity_profile_empty_dataset(self):
+        dataset = Dataset.from_user_items([], n_items=0)
+        assert item_popularity_profile(dataset).tolist() == [0.0] * 11
+
+    def test_sequence_length_summary(self, tiny_dataset):
+        summary = sequence_length_summary(tiny_dataset)
+        assert summary == {"min": 6.0, "median": 6.0, "mean": 6.0, "max": 6.0}
+
+    def test_distinct_items_per_user(self, tiny_dataset):
+        counts = distinct_items_per_user(tiny_dataset)
+        assert counts.tolist() == [3, 2, 1, 6]

@@ -1,0 +1,114 @@
+"""Tests for repro.data.streams — the incremental session tracker."""
+
+import numpy as np
+import pytest
+
+from repro.config import WindowConfig
+from repro.data.sequence import ConsumptionSequence
+from repro.data.streams import SessionTracker
+from repro.exceptions import DataError
+from repro.features.vectorizer import BehavioralFeatureModel
+from repro.windows.repeat import candidate_items, is_valid_target
+from repro.windows.window import window_before
+
+WINDOW = WindowConfig(window_size=10, min_gap=2)
+
+
+class TestBasics:
+    def test_initial_state(self):
+        tracker = SessionTracker(0, WINDOW)
+        assert tracker.t == 0
+        assert tracker.window_length() == 0
+        assert tracker.candidates() == []
+        assert tracker.gap(5) is None
+        assert tracker.familiarity(5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            SessionTracker(-1)
+        tracker = SessionTracker(0)
+        with pytest.raises(DataError):
+            tracker.consume(-3)
+        tracker.consume(1)
+        with pytest.raises(DataError):
+            tracker.recency(1, kind="linear")
+
+    def test_window_eviction(self):
+        tracker = SessionTracker(0, WindowConfig(window_size=3, min_gap=1))
+        tracker.consume_all([1, 2, 3, 4])
+        assert tracker.window_items() == [2, 3, 4]
+        assert tracker.count_in_window(1) == 0
+        assert tracker.count_in_window(4) == 1
+        # Gap still answers from full history, beyond the window.
+        assert tracker.gap(1) == 4
+
+    def test_repr(self):
+        tracker = SessionTracker(3, WINDOW)
+        assert "user=3" in repr(tracker)
+
+
+class TestAgreementWithBatch:
+    """The tracker must agree exactly with the batch implementations."""
+
+    @pytest.fixture()
+    def stream(self, rng):
+        return rng.integers(0, 8, size=120).tolist()
+
+    def test_window_and_counts(self, stream):
+        tracker = SessionTracker(0, WINDOW)
+        sequence = ConsumptionSequence(0, stream)
+        for t, item in enumerate(stream):
+            view = window_before(sequence, t, WINDOW.window_size)
+            assert tracker.window_items() == view.items.tolist()
+            for probe in range(8):
+                assert tracker.count_in_window(probe) == view.count(probe)
+                assert tracker.familiarity(probe) == pytest.approx(
+                    view.familiarity(probe)
+                )
+            tracker.consume(item)
+
+    def test_candidates_match_batch(self, stream):
+        tracker = SessionTracker(0, WINDOW)
+        sequence = ConsumptionSequence(0, stream)
+        for t, item in enumerate(stream):
+            assert tracker.candidates() == candidate_items(
+                sequence, t, WINDOW.window_size, WINDOW.min_gap
+            )
+            tracker.consume(item)
+
+    def test_repeat_flags_match_batch(self, stream):
+        tracker = SessionTracker(0, WINDOW)
+        sequence = ConsumptionSequence(0, stream)
+        for t, item in enumerate(stream):
+            if t > 0:
+                assert tracker.is_valid_target(item) == is_valid_target(
+                    sequence, t, WINDOW.window_size, WINDOW.min_gap
+                )
+            tracker.consume(item)
+
+    def test_recency_matches_batch_feature(self, stream, gowalla_dataset):
+        feature_model = BehavioralFeatureModel().fit(gowalla_dataset, WINDOW)
+        recency = feature_model.extractor("recency")
+        tracker = SessionTracker(0, WINDOW)
+        sequence = ConsumptionSequence(0, stream)
+        for t, item in enumerate(stream):
+            view = window_before(sequence, t, WINDOW.window_size)
+            for probe in range(8):
+                assert tracker.recency(probe) == pytest.approx(
+                    recency.value(sequence, probe, t, view)
+                )
+            tracker.consume(item)
+
+    def test_feature_vector_matches_batch(self, gowalla_dataset, rng):
+        feature_model = BehavioralFeatureModel().fit(gowalla_dataset, WINDOW)
+        stream = gowalla_dataset.sequence(0).items[:80].tolist()
+        tracker = SessionTracker(0, WINDOW)
+        sequence = ConsumptionSequence(0, stream)
+        for t, item in enumerate(stream):
+            if t > 5:
+                probes = list(dict.fromkeys(stream[:t]))[:5]
+                for probe in probes:
+                    streamed = tracker.feature_vector(probe, feature_model)
+                    batch = feature_model.vector(sequence, probe, t)
+                    assert np.allclose(streamed, batch), (t, probe)
+            tracker.consume(item)

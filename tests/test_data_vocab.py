@@ -1,0 +1,64 @@
+"""Tests for repro.data.vocab."""
+
+import pytest
+
+from repro.data.vocab import Vocabulary
+from repro.exceptions import VocabularyError
+
+
+class TestVocabulary:
+    def test_add_assigns_dense_indices_in_order(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("c") == 2
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("a") == 0
+        assert len(vocab) == 1
+
+    def test_roundtrip(self):
+        vocab = Vocabulary(["x", "y", "z"])
+        for raw_id in ["x", "y", "z"]:
+            assert vocab.id_of(vocab.index_of(raw_id)) == raw_id
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(VocabularyError, match="unknown id"):
+            Vocabulary().index_of("missing")
+
+    def test_id_of_out_of_range_raises(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(VocabularyError, match="out of range"):
+            vocab.id_of(1)
+        with pytest.raises(VocabularyError, match="out of range"):
+            vocab.id_of(-1)
+
+    def test_contains(self):
+        vocab = Vocabulary(["a"])
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_iteration_preserves_insertion_order(self):
+        vocab = Vocabulary(["c", "a", "b"])
+        assert list(vocab) == ["c", "a", "b"]
+
+    def test_equality(self):
+        assert Vocabulary(["a", "b"]) == Vocabulary(["a", "b"])
+        assert Vocabulary(["a", "b"]) != Vocabulary(["b", "a"])
+
+    def test_identity(self):
+        vocab = Vocabulary.identity(3)
+        assert list(vocab) == [0, 1, 2]
+        assert vocab.index_of(2) == 2
+
+    def test_identity_rejects_negative_size(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Vocabulary.identity(-1)
+
+    def test_accepts_heterogeneous_hashables(self):
+        vocab = Vocabulary()
+        assert vocab.add(("artist", "track")) == 0
+        assert vocab.add(42) == 1
+        assert vocab.index_of(("artist", "track")) == 0

@@ -1,0 +1,68 @@
+"""Consistency checks between code, docs, and the benchmark suite.
+
+These guard the reproduction contract: every registered paper artifact
+must be documented in DESIGN.md and EXPERIMENTS.md and have a benchmark
+that regenerates it; every public module must carry a docstring.
+"""
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments.registry import available_experiments
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestArtifactCoverage:
+    def test_every_artifact_has_a_bench(self):
+        bench_dir = REPO_ROOT / "benchmarks"
+        bench_text = "\n".join(
+            path.read_text() for path in bench_dir.glob("test_bench_*.py")
+        )
+        for experiment_id in available_experiments():
+            assert f'"{experiment_id}"' in bench_text, (
+                f"no benchmark regenerates {experiment_id}"
+            )
+
+    @pytest.mark.parametrize("doc_name", ["DESIGN.md", "EXPERIMENTS.md"])
+    def test_every_artifact_documented(self, doc_name):
+        text = (REPO_ROOT / doc_name).read_text().lower()
+        for experiment_id in available_experiments():
+            # "fig5" is written as "fig 5" in prose headings.
+            spaced = experiment_id.replace("fig", "fig ").replace(
+                "table", "table "
+            )
+            assert experiment_id in text or spaced in text, (
+                f"{experiment_id} missing from {doc_name}"
+            )
+
+    def test_readme_mentions_each_example(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for example in (REPO_ROOT / "examples").glob("*.py"):
+            assert example.name in readme, (
+                f"{example.name} not referenced in README.md"
+            )
+
+
+class TestDocstrings:
+    def test_every_public_module_has_a_docstring(self):
+        missing = []
+        package_path = Path(repro.__file__).parent
+        for module_info in pkgutil.walk_packages(
+            [str(package_path)], prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(module_info.name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_every_public_model_class_documented(self):
+        from repro import models
+
+        for name in models.__all__:
+            cls = getattr(models, name)
+            assert (cls.__doc__ or "").strip(), f"{name} lacks a docstring"

@@ -1,0 +1,134 @@
+"""Tests for repro.evaluation.metrics (Eq 22-24) and reports."""
+
+import pytest
+
+from repro.evaluation.metrics import (
+    AccuracyResult,
+    UserCounts,
+    aggregate_accuracy,
+    relative_improvement,
+)
+from repro.evaluation.reports import (
+    format_series,
+    format_table,
+    render_markdown_table,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestUserCounts:
+    def test_precision(self):
+        counts = UserCounts(n_targets=4, hits={1: 1, 5: 3})
+        assert counts.precision(1) == pytest.approx(0.25)
+        assert counts.precision(5) == pytest.approx(0.75)
+
+    def test_precision_undefined_for_empty_user(self):
+        counts = UserCounts(n_targets=0, hits={1: 0})
+        with pytest.raises(EvaluationError, match="undefined"):
+            counts.precision(1)
+
+    def test_hits_cannot_exceed_targets(self):
+        with pytest.raises(EvaluationError):
+            UserCounts(n_targets=2, hits={1: 3})
+
+    def test_negative_rejected(self):
+        with pytest.raises(EvaluationError):
+            UserCounts(n_targets=-1, hits={})
+
+
+class TestAggregateAccuracy:
+    def test_paper_naming_maap_pools_miap_averages(self):
+        """The paper's Eq 23/24: MaAP pools counts, MiAP averages P(u)."""
+        per_user = [
+            UserCounts(n_targets=8, hits={1: 4}),   # P(u) = 0.5
+            UserCounts(n_targets=2, hits={1: 2}),   # P(u) = 1.0
+        ]
+        result = aggregate_accuracy(per_user, [1])
+        assert result.maap[1] == pytest.approx(6 / 10)   # pooled
+        assert result.miap[1] == pytest.approx(0.75)     # per-user mean
+
+    def test_long_users_dominate_maap_not_miap(self):
+        per_user = [
+            UserCounts(n_targets=98, hits={1: 0}),
+            UserCounts(n_targets=2, hits={1: 2}),
+        ]
+        result = aggregate_accuracy(per_user, [1])
+        assert result.maap[1] == pytest.approx(0.02)
+        assert result.miap[1] == pytest.approx(0.5)
+
+    def test_users_without_targets_excluded(self):
+        per_user = [
+            UserCounts(n_targets=0, hits={1: 0}),
+            UserCounts(n_targets=4, hits={1: 2}),
+        ]
+        result = aggregate_accuracy(per_user, [1])
+        assert result.n_users_evaluated == 1
+        assert result.miap[1] == pytest.approx(0.5)
+
+    def test_all_users_empty_raises(self):
+        with pytest.raises(EvaluationError, match="no user"):
+            aggregate_accuracy([UserCounts(n_targets=0, hits={1: 0})], [1])
+
+    def test_empty_top_ns_raises(self):
+        with pytest.raises(EvaluationError):
+            aggregate_accuracy([UserCounts(n_targets=1, hits={1: 1})], [])
+
+    def test_multiple_cutoffs(self):
+        per_user = [UserCounts(n_targets=4, hits={1: 1, 5: 2, 10: 4})]
+        result = aggregate_accuracy(per_user, [1, 5, 10])
+        assert result.maap[1] <= result.maap[5] <= result.maap[10]
+
+    def test_as_rows(self):
+        result = AccuracyResult(
+            top_ns=(1,), maap={1: 0.5}, miap={1: 0.25},
+            n_users_evaluated=2, n_targets_total=10,
+        )
+        row = result.as_rows("TS-PPR")
+        assert row["Method"] == "TS-PPR"
+        assert row["MaAP@1"] == 0.5
+        assert row["MiAP@1"] == 0.25
+
+
+class TestRelativeImprovement:
+    def test_table3_example(self):
+        # The paper's joint example: 0.6314 vs a 0.347 baseline ~ +82%.
+        assert relative_improvement(1.82, 1.0) == pytest.approx(0.82)
+
+    def test_negative_when_worse(self):
+        assert relative_improvement(0.5, 1.0) == pytest.approx(-0.5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(EvaluationError):
+            relative_improvement(0.5, 0.0)
+
+
+class TestReports:
+    def test_format_table_aligns_columns(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_union_of_keys(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_markdown_table(self):
+        text = render_markdown_table([{"Method": "Pop", "MaAP@1": 0.5}])
+        lines = text.splitlines()
+        assert lines[0] == "| Method | MaAP@1 |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| Pop | 0.5000 |"
+
+    def test_format_series(self):
+        text = format_series("curve", [1, 2], [0.1, 0.2], "K", "MaAP")
+        assert text.startswith("# curve")
+        assert "K" in text and "MaAP" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("bad", [1], [0.1, 0.2])

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    DataError,
+    EvaluationError,
+    ExperimentError,
+    FeatureError,
+    ModelError,
+    NotFittedError,
+    ReproError,
+    SamplingError,
+    SplitError,
+    VocabularyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            DataError,
+            FeatureError,
+            SamplingError,
+            ModelError,
+            ConvergenceError,
+            EvaluationError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, ReproError)
+
+    def test_vocabulary_error_is_data_error(self):
+        assert issubclass(VocabularyError, DataError)
+
+    def test_split_error_is_data_error(self):
+        assert issubclass(SplitError, DataError)
+
+    def test_not_fitted_is_model_error(self):
+        assert issubclass(NotFittedError, ModelError)
+
+    def test_catching_the_base_class_works(self):
+        with pytest.raises(ReproError):
+            raise NotFittedError("model not fitted")
+
+    def test_errors_carry_messages(self):
+        error = SamplingError("nothing to sample")
+        assert "nothing to sample" in str(error)

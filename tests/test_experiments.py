@@ -1,0 +1,145 @@
+"""Tests for the experiment harness (registry, common, smoke runs)."""
+
+import pytest
+
+from repro.evaluation.metrics import AccuracyResult
+from repro.exceptions import ExperimentError
+from repro.experiments.common import (
+    BASELINE_ORDER,
+    DATASET_KEYS,
+    SMOKE_SCALE,
+    ExperimentScale,
+    accuracy_run,
+    build_split,
+    clear_caches,
+    dataset_title,
+    default_config,
+    make_model,
+    scale_by_name,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+ALL_EXPERIMENT_IDS = (
+    "table2", "table3", "table4", "table5",
+    "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "fig13",
+)
+
+
+class TestScales:
+    def test_scale_by_name(self):
+        assert scale_by_name("smoke") is SMOKE_SCALE
+        with pytest.raises(ExperimentError):
+            scale_by_name("giant")
+
+    def test_scale_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentScale("bad", user_factor=0, length_factor=1, max_epochs=10)
+        with pytest.raises(ExperimentError):
+            ExperimentScale("bad", user_factor=1, length_factor=1, max_epochs=0)
+
+
+class TestBuildSplit:
+    def test_caches_by_key_and_scale(self):
+        clear_caches()
+        a = build_split("gowalla", SMOKE_SCALE)
+        b = build_split("gowalla", SMOKE_SCALE)
+        assert a is b
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown dataset"):
+            build_split("movielens", SMOKE_SCALE)
+
+    def test_both_datasets_build(self):
+        for key in DATASET_KEYS:
+            split = build_split(key, SMOKE_SCALE)
+            assert split.n_users >= 2
+
+    def test_dataset_title(self):
+        assert dataset_title("gowalla") == "Gowalla-like"
+        assert dataset_title("lastfm") == "Lastfm-like"
+
+
+class TestMakeModel:
+    @pytest.mark.parametrize("name", BASELINE_ORDER)
+    def test_all_methods_constructible(self, name):
+        model = make_model(name, "gowalla", SMOKE_SCALE)
+        assert model.name == name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown model"):
+            make_model("SVD++", "gowalla", SMOKE_SCALE)
+
+    def test_default_config_uses_table4(self):
+        gowalla = default_config("gowalla", SMOKE_SCALE)
+        lastfm = default_config("lastfm", SMOKE_SCALE)
+        assert gowalla.lambda_mapping == pytest.approx(0.01)
+        assert lastfm.lambda_mapping == pytest.approx(0.001)
+        assert gowalla.max_epochs == SMOKE_SCALE.max_epochs
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        available = available_experiments()
+        for experiment_id in ALL_EXPERIMENT_IDS:
+            assert experiment_id in available
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_titles_nonempty(self):
+        for experiment_id in ALL_EXPERIMENT_IDS:
+            title, runner = get_experiment(experiment_id)
+            assert title
+            assert callable(runner)
+
+    def test_render_contains_sections(self):
+        result = ExperimentResult(
+            experiment_id="x", title="demo",
+            rows=({"a": 1},), series={"s": ((1, 0.5),)}, notes=("hello",),
+        )
+        text = result.render()
+        assert "== x: demo ==" in text
+        assert "hello" in text
+        assert "-- s --" in text
+
+
+class TestSmokeRuns:
+    """Cheap experiments run end-to-end at smoke scale."""
+
+    def test_table2(self):
+        result = run_experiment("table2", SMOKE_SCALE)
+        assert len(result.rows) == 2
+        assert result.rows[0]["Data Set"] == "Gowalla-like"
+
+    def test_table4(self):
+        result = run_experiment("table4", SMOKE_SCALE)
+        assert result.rows[0]["K"] == 40
+
+    def test_fig4(self):
+        result = run_experiment("fig4", SMOKE_SCALE)
+        assert len(result.series) == 8  # 2 datasets x 4 features
+        for points in result.series.values():
+            assert all(count >= 0 for _, count in points)
+
+    def test_fig12(self):
+        result = run_experiment("fig12", SMOKE_SCALE)
+        assert len(result.series) == 2
+        for points in result.series.values():
+            updates = [n for n, _ in points]
+            assert updates == sorted(updates)
+
+
+class TestAccuracyRunCache:
+    def test_shared_across_fig5_fig6_table3(self):
+        clear_caches()
+        first = accuracy_run("gowalla", SMOKE_SCALE, ("Random", "Pop"))
+        second = accuracy_run("gowalla", SMOKE_SCALE, ("Random", "Pop"))
+        assert first is second
+        assert isinstance(first["Pop"], AccuracyResult)

@@ -1,0 +1,83 @@
+"""Tests for repro.experiments.storage."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.storage import (
+    load_result,
+    load_results_dir,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture()
+def result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="fig99",
+        title="demo artifact",
+        rows=({"Method": "Pop", "MaAP@10": 0.5},),
+        series={"curve": ((1, 0.1), (2, 0.2))},
+        notes=("a note",),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.experiment_id == result.experiment_id
+        assert rebuilt.title == result.title
+        assert list(rebuilt.rows) == [dict(r) for r in result.rows]
+        assert rebuilt.series["curve"] == ((1, 0.1), (2, 0.2))
+        assert rebuilt.notes == result.notes
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path)
+        assert path.name == "fig99.json"
+        rebuilt = load_result(path)
+        assert rebuilt.render() == result.render()
+
+    def test_load_results_dir_sorted(self, result, tmp_path):
+        save_result(result, tmp_path)
+        other = ExperimentResult(experiment_id="fig01", title="earlier")
+        save_result(other, tmp_path)
+        loaded = load_results_dir(tmp_path)
+        assert [r.experiment_id for r in loaded] == ["fig01", "fig99"]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no result"):
+            load_result(tmp_path / "nope.json")
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(ExperimentError, match="not a directory"):
+            load_results_dir(tmp_path / "missing")
+
+    def test_bad_version(self, result, tmp_path):
+        path = save_result(result, tmp_path)
+        payload = json.loads(path.read_text())
+        payload["storage_version"] = 42
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ExperimentError, match="version"):
+            load_result(path)
+
+    def test_missing_field(self):
+        with pytest.raises(ExperimentError, match="missing field"):
+            result_from_dict({"storage_version": 1, "title": "x"})
+
+
+class TestCliIntegration:
+    def test_json_dir_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_dir = tmp_path / "archive"
+        assert main([
+            "run", "table4", "--scale", "smoke", "--json-dir", str(json_dir)
+        ]) == 0
+        loaded = load_result(json_dir / "table4.json")
+        assert loaded.experiment_id == "table4"

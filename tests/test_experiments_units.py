@@ -1,0 +1,88 @@
+"""Unit tests for experiment-module internals (no full runs)."""
+
+import numpy as np
+import pytest
+
+from repro.config import WindowConfig
+from repro.evaluation.metrics import AccuracyResult
+from repro.experiments.fig4_distributions import FEATURE_CODES, rank_histograms
+from repro.experiments.fig7_feature_importance import ablation_variants
+from repro.experiments.table3_improvement import improvement_cell
+
+
+def _accuracy(maap, miap):
+    return AccuracyResult(
+        top_ns=(1, 5, 10),
+        maap={1: maap, 5: maap, 10: maap},
+        miap={1: miap, 5: miap, 10: miap},
+        n_users_evaluated=3,
+        n_targets_total=30,
+    )
+
+
+class TestImprovementCell:
+    def test_positive_improvement_formats_percent(self):
+        results = {
+            "Random": _accuracy(0.1, 0.1),
+            "Pop": _accuracy(0.2, 0.2),
+            "Recency": _accuracy(0.15, 0.15),
+            "FPMC": _accuracy(0.1, 0.1),
+            "Survival": _accuracy(0.1, 0.1),
+            "DYRC": _accuracy(0.18, 0.18),
+            "TS-PPR": _accuracy(0.3, 0.25),
+        }
+        assert improvement_cell(results, "MaAP", 10) == "50%"
+        assert improvement_cell(results, "MiAP", 10) == "25%"
+
+    def test_loss_renders_backslash(self):
+        results = {
+            name: _accuracy(0.2, 0.2)
+            for name in (
+                "Random", "Pop", "Recency", "FPMC", "Survival", "DYRC",
+            )
+        }
+        results["TS-PPR"] = _accuracy(0.15, 0.2)
+        assert improvement_cell(results, "MaAP", 5) == "\\"
+        # An exact tie is also "not better".
+        assert improvement_cell(results, "MiAP", 5) == "\\"
+
+
+class TestAblationVariants:
+    def test_five_variants(self):
+        variants = ablation_variants()
+        assert len(variants) == 5
+        labels = [label for label, _ in variants]
+        assert labels == ["All", "-IP", "-IR", "-RE", "-DF"]
+
+    def test_each_removal_drops_exactly_one(self):
+        variants = dict(ablation_variants())
+        assert len(variants["All"]) == 4
+        assert "item_quality" not in variants["-IP"]
+        assert "item_reconsumption_ratio" not in variants["-IR"]
+        assert "recency" not in variants["-RE"]
+        assert "dynamic_familiarity" not in variants["-DF"]
+        for label in ("-IP", "-IR", "-RE", "-DF"):
+            assert len(variants[label]) == 3
+
+
+class TestRankHistograms:
+    def test_counts_and_truth_rank(self, gowalla_split):
+        window = WindowConfig(window_size=30, min_gap=3)
+        histograms = rank_histograms(gowalla_split, window, max_rank=10)
+        assert set(histograms) == set(FEATURE_CODES)
+        totals = {name: h.sum() for name, h in histograms.items()}
+        # Every feature histograms the same set of repeat events.
+        assert len(set(totals.values())) == 1
+        assert list(totals.values())[0] > 0
+        for histogram in histograms.values():
+            assert histogram.shape == (10,)
+            assert np.all(histogram >= 0)
+
+    def test_rank_folding(self, gowalla_split):
+        window = WindowConfig(window_size=30, min_gap=3)
+        small = rank_histograms(gowalla_split, window, max_rank=3)
+        large = rank_histograms(gowalla_split, window, max_rank=10)
+        for name in small:
+            assert small[name].sum() == large[name].sum()
+            # Mass beyond rank 3 folds into the last bin.
+            assert small[name][2] >= large[name][2]

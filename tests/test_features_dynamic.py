@@ -1,0 +1,92 @@
+"""Tests for repro.features.dynamic (recency Eq 19/20, familiarity Eq 21)."""
+
+import math
+
+import pytest
+
+from repro.config import WindowConfig
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import FeatureError
+from repro.features.dynamic import (
+    DynamicFamiliarityFeature,
+    RecencyFeature,
+    exponential_recency,
+    hyperbolic_recency,
+)
+from repro.windows.window import window_before
+
+WINDOW = WindowConfig(window_size=10, min_gap=2)
+
+
+class TestDecayFunctions:
+    def test_hyperbolic_values(self):
+        assert hyperbolic_recency(1) == 1.0
+        assert hyperbolic_recency(4) == 0.25
+
+    def test_exponential_values(self):
+        assert exponential_recency(1) == pytest.approx(math.exp(-1))
+        assert exponential_recency(3) == pytest.approx(math.exp(-3))
+
+    @pytest.mark.parametrize("fn", [hyperbolic_recency, exponential_recency])
+    def test_rejects_nonpositive_gap(self, fn):
+        with pytest.raises(FeatureError):
+            fn(0)
+
+    def test_both_decay_monotonically(self):
+        for fn in (hyperbolic_recency, exponential_recency):
+            values = [fn(g) for g in range(1, 20)]
+            assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_hyperbolic_decays_slower(self):
+        # The paper prefers hyperbolic because interest decays slowly.
+        assert hyperbolic_recency(10) > exponential_recency(10)
+
+
+class TestRecencyFeature:
+    @pytest.fixture()
+    def sequence(self):
+        return ConsumptionSequence(0, [4, 7, 4, 9])
+
+    def test_hyperbolic_gap(self, sequence, tiny_dataset):
+        feature = RecencyFeature("hyperbolic").fit(tiny_dataset, WINDOW)
+        window = window_before(sequence, 3, 10)
+        assert feature.value(sequence, 4, 3, window) == pytest.approx(1.0)
+        assert feature.value(sequence, 7, 3, window) == pytest.approx(0.5)
+
+    def test_exponential_kind(self, sequence, tiny_dataset):
+        feature = RecencyFeature("exponential").fit(tiny_dataset, WINDOW)
+        window = window_before(sequence, 3, 10)
+        assert feature.value(sequence, 7, 3, window) == pytest.approx(math.exp(-2))
+
+    def test_never_consumed_is_zero(self, sequence, tiny_dataset):
+        feature = RecencyFeature().fit(tiny_dataset, WINDOW)
+        window = window_before(sequence, 3, 10)
+        assert feature.value(sequence, 99, 3, window) == 0.0
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(FeatureError, match="kind"):
+            RecencyFeature("linear")
+
+    def test_uses_full_history_not_just_window(self, tiny_dataset):
+        # Recency looks at l_ut(v) even when the item fell out of the
+        # (shorter) window: the definition in Eq 19 has no window bound.
+        sequence = ConsumptionSequence(0, [3, 0, 0, 0, 0])
+        feature = RecencyFeature().fit(tiny_dataset, WINDOW)
+        window = window_before(sequence, 4, 2)
+        assert feature.value(sequence, 3, 4, window) == pytest.approx(0.25)
+
+
+class TestDynamicFamiliarity:
+    def test_matches_window_fraction(self, tiny_dataset):
+        sequence = tiny_dataset.sequence(0)  # 0 1 0 2 0 1
+        feature = DynamicFamiliarityFeature().fit(tiny_dataset, WINDOW)
+        window = window_before(sequence, 5, 5)  # items t=0..4
+        assert feature.value(sequence, 0, 5, window) == pytest.approx(3 / 5)
+        assert feature.value(sequence, 2, 5, window) == pytest.approx(1 / 5)
+        assert feature.value(sequence, 5, 5, window) == 0.0
+
+    def test_window_size_changes_value(self, tiny_dataset):
+        sequence = tiny_dataset.sequence(0)
+        feature = DynamicFamiliarityFeature().fit(tiny_dataset, WINDOW)
+        narrow = window_before(sequence, 5, 2)  # items t=3,4 -> [2, 0]
+        assert feature.value(sequence, 0, 5, narrow) == pytest.approx(1 / 2)

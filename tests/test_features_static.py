@@ -1,0 +1,96 @@
+"""Tests for repro.features.static (item quality Eq 16-17, IR Eq 18)."""
+
+import numpy as np
+import pytest
+
+from repro.config import WindowConfig
+from repro.data.dataset import Dataset
+from repro.exceptions import FeatureError, NotFittedError
+from repro.features.static import (
+    ItemQualityFeature,
+    ReconsumptionRatioFeature,
+    compute_item_quality,
+    compute_reconsumption_ratio,
+)
+from repro.windows.window import window_before
+
+WINDOW = WindowConfig(window_size=10, min_gap=2)
+
+
+class TestComputeItemQuality:
+    def test_minmax_normalization(self):
+        quality = compute_item_quality(np.array([0, 1, 9]))
+        assert quality[0] == 0.0
+        assert quality[2] == 1.0
+        expected = np.log(2) / np.log(10)
+        assert quality[1] == pytest.approx(expected)
+
+    def test_constant_frequencies_give_zeros(self):
+        assert compute_item_quality(np.array([4, 4, 4])).tolist() == [0, 0, 0]
+
+    def test_monotone_in_frequency(self):
+        quality = compute_item_quality(np.array([1, 5, 25, 125]))
+        assert np.all(np.diff(quality) > 0)
+
+    def test_range(self, gowalla_dataset):
+        quality = compute_item_quality(gowalla_dataset.item_frequencies())
+        assert quality.min() >= 0.0
+        assert quality.max() <= 1.0
+
+
+class TestComputeReconsumptionRatio:
+    def test_hand_computed(self, tiny_dataset):
+        ratio = compute_reconsumption_ratio(tiny_dataset, window_size=100)
+        # Item 0: 4 observations, repeats at user0 t=2, t=4 -> 2/4.
+        assert ratio[0] == pytest.approx(0.5)
+        # Item 5: 7 observations, 5 repeats (user 2 t=1..5) -> 5/7.
+        assert ratio[5] == pytest.approx(5 / 7)
+        # Item 2: 2 observations (user0 t=3, user3 t=2), no repeat.
+        assert ratio[2] == 0.0
+
+    def test_window_size_limits_repeats(self):
+        dataset = Dataset.from_user_items([[0, 1, 2, 3, 0]], n_items=4)
+        assert compute_reconsumption_ratio(dataset, 10)[0] == pytest.approx(0.5)
+        assert compute_reconsumption_ratio(dataset, 2)[0] == 0.0
+
+    def test_unconsumed_items_are_zero(self, tiny_dataset):
+        dataset = Dataset.from_user_items([[0]], n_items=5)
+        ratio = compute_reconsumption_ratio(dataset, 10)
+        assert ratio[4] == 0.0
+
+    def test_range(self, gowalla_dataset):
+        ratio = compute_reconsumption_ratio(gowalla_dataset, 100)
+        assert ratio.min() >= 0.0
+        assert ratio.max() <= 1.0
+
+
+class TestFeatureExtractors:
+    def test_quality_value_lookup(self, tiny_dataset):
+        feature = ItemQualityFeature().fit(tiny_dataset, WINDOW)
+        sequence = tiny_dataset.sequence(0)
+        window = window_before(sequence, 3, WINDOW.window_size)
+        expected = compute_item_quality(tiny_dataset.item_frequencies())
+        assert feature.value(sequence, 5, 3, window) == pytest.approx(expected[5])
+
+    def test_quality_requires_fit(self, tiny_dataset):
+        feature = ItemQualityFeature()
+        sequence = tiny_dataset.sequence(0)
+        window = window_before(sequence, 3, 10)
+        with pytest.raises(NotFittedError):
+            feature.value(sequence, 0, 3, window)
+
+    def test_quality_rejects_out_of_vocab(self, tiny_dataset):
+        feature = ItemQualityFeature().fit(tiny_dataset, WINDOW)
+        sequence = tiny_dataset.sequence(0)
+        window = window_before(sequence, 3, 10)
+        with pytest.raises(FeatureError, match="outside"):
+            feature.value(sequence, 999, 3, window)
+
+    def test_ratio_table_matches_function(self, tiny_dataset):
+        feature = ReconsumptionRatioFeature().fit(tiny_dataset, WINDOW)
+        expected = compute_reconsumption_ratio(tiny_dataset, WINDOW.window_size)
+        assert np.allclose(feature.table, expected)
+
+    def test_ratio_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            ReconsumptionRatioFeature().table

@@ -1,0 +1,116 @@
+"""Tests for repro.features.vectorizer and the feature registry."""
+
+import numpy as np
+import pytest
+
+from repro.config import FEATURE_NAMES, WindowConfig
+from repro.exceptions import FeatureError, NotFittedError
+from repro.features.base import (
+    FeatureExtractor,
+    available_features,
+    create_feature,
+    register_feature,
+    unregister_feature,
+)
+from repro.features.vectorizer import BehavioralFeatureModel
+from repro.windows.window import window_before
+
+WINDOW = WindowConfig(window_size=10, min_gap=2)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_features()
+        for name in FEATURE_NAMES:
+            assert name in names
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(FeatureError, match="unknown feature"):
+            create_feature("nope")
+
+    def test_register_custom_and_unregister(self):
+        class Constant(FeatureExtractor):
+            name = "constant_half"
+
+            def fit(self, train_dataset, window):
+                return self
+
+            def value(self, sequence, item, t, window):
+                return 0.5
+
+        register_feature("constant_half", Constant)
+        try:
+            assert isinstance(create_feature("constant_half"), Constant)
+            with pytest.raises(FeatureError, match="already registered"):
+                register_feature("constant_half", Constant)
+            register_feature("constant_half", Constant, overwrite=True)
+        finally:
+            unregister_feature("constant_half")
+        assert "constant_half" not in available_features()
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(FeatureError):
+            register_feature("", lambda: None)  # type: ignore[arg-type]
+
+
+class TestBehavioralFeatureModel:
+    def test_default_uses_paper_features_in_order(self):
+        model = BehavioralFeatureModel()
+        assert model.feature_names == FEATURE_NAMES
+        assert model.n_features == 4
+
+    def test_vector_before_fit_raises(self, tiny_dataset):
+        model = BehavioralFeatureModel()
+        with pytest.raises(NotFittedError):
+            model.vector(tiny_dataset.sequence(0), 0, 3)
+
+    def test_vector_values_in_unit_interval(self, tiny_dataset):
+        model = BehavioralFeatureModel().fit(tiny_dataset, WINDOW)
+        sequence = tiny_dataset.sequence(0)
+        for t in range(1, len(sequence)):
+            for item in sequence.distinct_items():
+                vector = model.vector(sequence, int(item), t)
+                assert vector.shape == (4,)
+                assert np.all(vector >= 0.0) and np.all(vector <= 1.0)
+
+    def test_matrix_matches_vectors(self, tiny_dataset):
+        model = BehavioralFeatureModel().fit(tiny_dataset, WINDOW)
+        sequence = tiny_dataset.sequence(0)
+        items = [0, 1, 2]
+        matrix = model.matrix(sequence, items, 4)
+        for row, item in enumerate(items):
+            assert np.allclose(matrix[row], model.vector(sequence, item, 4))
+
+    def test_matrix_accepts_shared_window(self, tiny_dataset):
+        model = BehavioralFeatureModel().fit(tiny_dataset, WINDOW)
+        sequence = tiny_dataset.sequence(0)
+        window = window_before(sequence, 4, WINDOW.window_size)
+        direct = model.matrix(sequence, [0, 1], 4)
+        shared = model.matrix(sequence, [0, 1], 4, window)
+        assert np.allclose(direct, shared)
+
+    def test_subset_of_features(self, tiny_dataset):
+        model = BehavioralFeatureModel(["recency", "item_quality"]).fit(
+            tiny_dataset, WINDOW
+        )
+        assert model.feature_names == ("recency", "item_quality")
+        vector = model.vector(tiny_dataset.sequence(0), 0, 3)
+        assert vector.shape == (2,)
+
+    def test_recency_kind_forwarded(self, tiny_dataset):
+        hyper = BehavioralFeatureModel(["recency"], recency_kind="hyperbolic")
+        expo = BehavioralFeatureModel(["recency"], recency_kind="exponential")
+        hyper.fit(tiny_dataset, WINDOW)
+        expo.fit(tiny_dataset, WINDOW)
+        sequence = tiny_dataset.sequence(0)  # 0 1 0 2 0 1
+        # gap to last 0 at t=3 is 1 -> both 1/1 and e^-1 differ.
+        h = hyper.vector(sequence, 0, 3)[0]
+        e = expo.vector(sequence, 0, 3)[0]
+        assert h == pytest.approx(1.0)
+        assert e == pytest.approx(np.exp(-1))
+
+    def test_extractor_lookup(self, tiny_dataset):
+        model = BehavioralFeatureModel().fit(tiny_dataset, WINDOW)
+        assert model.extractor("recency").name == "recency"
+        with pytest.raises(KeyError):
+            model.extractor("missing")

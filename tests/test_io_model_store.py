@@ -1,0 +1,117 @@
+"""Tests for repro.io.model_store — model persistence round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import TSPPRConfig
+from repro.exceptions import ModelError, NotFittedError
+from repro.io.model_store import load_model, save_model
+from repro.models.fpmc import FPMCRecommender
+from repro.models.pop import PopRecommender
+from repro.models.ppr import PPRRecommender
+from repro.models.random_rec import RandomRecommender
+from repro.models.tsppr import TSPPRRecommender
+from repro.novel.models import NovelTSPPRRecommender
+
+SMOKE = TSPPRConfig(max_epochs=4000, seed=8)
+
+
+def _scores(model, split):
+    sequence = split.full_sequence(0)
+    t = split.train_boundary(0) + 2
+    candidates = sorted(set(sequence.items[:t].tolist()))[:8]
+    return model.score(sequence, candidates, t)
+
+
+class TestRoundTrips:
+    def test_tsppr_round_trip(self, gowalla_split, tmp_path):
+        model = TSPPRRecommender(SMOKE).fit(gowalla_split)
+        save_model(model, tmp_path / "tsppr")
+        loaded = load_model(tmp_path / "tsppr", split=gowalla_split)
+        assert isinstance(loaded, TSPPRRecommender)
+        assert loaded.config == model.config
+        assert np.allclose(_scores(loaded, gowalla_split),
+                           _scores(model, gowalla_split))
+
+    def test_novel_tsppr_round_trip(self, gowalla_split, tmp_path):
+        model = NovelTSPPRRecommender(SMOKE).fit(gowalla_split)
+        save_model(model, tmp_path / "novel")
+        loaded = load_model(tmp_path / "novel", split=gowalla_split)
+        assert isinstance(loaded, NovelTSPPRRecommender)
+        assert loaded.popularity_biased_negatives == model.popularity_biased_negatives
+        assert np.allclose(_scores(loaded, gowalla_split),
+                           _scores(model, gowalla_split))
+
+    def test_ppr_round_trip(self, gowalla_split, tmp_path):
+        model = PPRRecommender(SMOKE).fit(gowalla_split)
+        save_model(model, tmp_path / "ppr")
+        loaded = load_model(tmp_path / "ppr")
+        assert np.allclose(_scores(loaded, gowalla_split),
+                           _scores(model, gowalla_split))
+
+    def test_fpmc_round_trip(self, gowalla_split, tmp_path):
+        model = FPMCRecommender(SMOKE, use_user_term=True).fit(gowalla_split)
+        save_model(model, tmp_path / "fpmc")
+        loaded = load_model(tmp_path / "fpmc")
+        assert loaded.use_user_term is True
+        assert np.allclose(_scores(loaded, gowalla_split),
+                           _scores(model, gowalla_split))
+
+    def test_pop_round_trip(self, gowalla_split, tmp_path):
+        model = PopRecommender().fit(gowalla_split)
+        save_model(model, tmp_path / "pop")
+        loaded = load_model(tmp_path / "pop")
+        assert np.allclose(_scores(loaded, gowalla_split),
+                           _scores(model, gowalla_split))
+
+    def test_window_config_preserved(self, gowalla_split, tmp_path):
+        from repro.config import WindowConfig
+
+        model = PopRecommender().fit(
+            gowalla_split, WindowConfig(window_size=50, min_gap=7)
+        )
+        save_model(model, tmp_path / "pop")
+        loaded = load_model(tmp_path / "pop")
+        assert loaded.window_config.window_size == 50
+        assert loaded.window_config.min_gap == 7
+
+
+class TestErrors:
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_model(TSPPRRecommender(SMOKE), tmp_path / "x")
+
+    def test_unsavable_class_rejected(self, gowalla_split, tmp_path):
+        model = RandomRecommender().fit(gowalla_split)
+        with pytest.raises(ModelError, match="persistence layout"):
+            save_model(model, tmp_path / "x")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ModelError, match="manifest"):
+            load_model(tmp_path)
+
+    def test_tsppr_requires_split_on_load(self, gowalla_split, tmp_path):
+        model = TSPPRRecommender(SMOKE).fit(gowalla_split)
+        save_model(model, tmp_path / "tsppr")
+        with pytest.raises(ModelError, match="training split"):
+            load_model(tmp_path / "tsppr")
+
+    def test_bad_format_version(self, gowalla_split, tmp_path):
+        model = PopRecommender().fit(gowalla_split)
+        directory = save_model(model, tmp_path / "pop")
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ModelError, match="format"):
+            load_model(directory)
+
+    def test_unknown_class_in_manifest(self, gowalla_split, tmp_path):
+        model = PopRecommender().fit(gowalla_split)
+        directory = save_model(model, tmp_path / "pop")
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["model_class"] = "MysteryModel"
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ModelError, match="unknown model class"):
+            load_model(directory)

@@ -1,0 +1,48 @@
+"""Tests for repro.logging_utils."""
+
+import logging
+
+from repro.logging_utils import enable_console_logging, get_logger, log_duration
+
+
+class TestGetLogger:
+    def test_default_is_package_root(self):
+        assert get_logger().name == "repro"
+
+    def test_name_is_namespaced(self):
+        assert get_logger("models.tsppr").name == "repro.models.tsppr"
+
+    def test_already_namespaced_untouched(self):
+        assert get_logger("repro.data").name == "repro.data"
+
+
+class TestEnableConsoleLogging:
+    def test_idempotent_handler_attachment(self):
+        logger = enable_console_logging()
+        n_handlers = len(logger.handlers)
+        enable_console_logging()
+        assert len(logger.handlers) == n_handlers
+
+    def test_sets_level(self):
+        logger = enable_console_logging(logging.WARNING)
+        assert logger.level == logging.WARNING
+        enable_console_logging(logging.INFO)  # restore
+
+
+class TestLogDuration:
+    def test_logs_at_debug(self, caplog):
+        logger = get_logger("test_timing")
+        with caplog.at_level(logging.DEBUG, logger="repro.test_timing"):
+            with log_duration(logger, "unit of work"):
+                pass
+        assert any("unit of work" in record.message for record in caplog.records)
+
+    def test_logs_even_on_exception(self, caplog):
+        logger = get_logger("test_timing")
+        with caplog.at_level(logging.DEBUG, logger="repro.test_timing"):
+            try:
+                with log_duration(logger, "failing work"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        assert any("failing work" in record.message for record in caplog.records)

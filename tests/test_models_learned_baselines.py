@@ -1,0 +1,180 @@
+"""Tests for PPR, FPMC, DYRC, Survival, and STREC."""
+
+import numpy as np
+import pytest
+
+from repro.config import TSPPRConfig, WindowConfig
+from repro.data.sequence import ConsumptionSequence
+from repro.evaluation.protocol import evaluate_recommender
+from repro.exceptions import NotFittedError
+from repro.models.dyrc import DYRCRecommender, recency_ranks
+from repro.models.fpmc import FPMCRecommender
+from repro.models.ppr import PPRRecommender
+from repro.models.random_rec import RandomRecommender
+from repro.models.strec import STRECClassifier
+from repro.models.survival import SurvivalRecommender
+from repro.windows.window import window_before
+
+SMOKE = TSPPRConfig(max_epochs=8000, seed=3)
+
+
+class TestPPR:
+    def test_fit_and_score(self, gowalla_split):
+        model = PPRRecommender(SMOKE).fit(gowalla_split)
+        assert model.user_factors_.shape[0] == gowalla_split.n_users
+        sequence = gowalla_split.full_sequence(0)
+        t = gowalla_split.train_boundary(0) + 2
+        candidates = sorted(set(sequence.items[:t].tolist()))[:10]
+        scores = model.score(sequence, candidates, t)
+        assert scores.shape == (len(candidates),)
+        assert np.all(np.isfinite(scores))
+
+    def test_score_is_time_invariant(self, gowalla_split):
+        """PPR's defining limitation: the same (u, v) scores identically
+        at every t — which is exactly why it cannot solve RRC."""
+        model = PPRRecommender(SMOKE).fit(gowalla_split)
+        sequence = gowalla_split.full_sequence(0)
+        boundary = gowalla_split.train_boundary(0)
+        candidates = sorted(set(sequence.items[:boundary].tolist()))[:5]
+        early = model.score(sequence, candidates, boundary + 1)
+        late = model.score(sequence, candidates, boundary + 40)
+        assert np.allclose(early, late)
+
+    def test_margin_grows(self, gowalla_split):
+        model = PPRRecommender(SMOKE).fit(gowalla_split)
+        history = model.sgd_result_.margin_history
+        assert history[-1][1] > history[0][1]
+
+
+class TestFPMC:
+    def test_fit_and_evaluate(self, gowalla_split):
+        model = FPMCRecommender(SMOKE).fit(gowalla_split)
+        result = evaluate_recommender(model, gowalla_split)
+        assert 0.0 <= result.maap[10] <= 1.0
+
+    def test_mc_term_only_by_default(self, gowalla_split):
+        model = FPMCRecommender(SMOKE).fit(gowalla_split)
+        assert not model.use_user_term
+        # With the MC term only, scores do not depend on who the user is,
+        # only on the window contents.
+        sequence = gowalla_split.full_sequence(0)
+        t = gowalla_split.train_boundary(0) + 1
+        candidates = sorted(set(sequence.items[:t].tolist()))[:5]
+        scores = model.score(sequence, candidates, t)
+        relabeled = ConsumptionSequence(1, sequence.items)
+        assert np.allclose(scores, model.score(relabeled, candidates, t))
+
+    def test_user_term_variant(self, gowalla_split):
+        model = FPMCRecommender(SMOKE, use_user_term=True).fit(gowalla_split)
+        sequence = gowalla_split.full_sequence(0)
+        t = gowalla_split.train_boundary(0) + 1
+        candidates = sorted(set(sequence.items[:t].tolist()))[:5]
+        scores = model.score(sequence, candidates, t)
+        relabeled = ConsumptionSequence(1, sequence.items)
+        assert not np.allclose(scores, model.score(relabeled, candidates, t))
+
+    def test_scores_depend_on_window(self, gowalla_split):
+        model = FPMCRecommender(SMOKE).fit(gowalla_split)
+        sequence = gowalla_split.full_sequence(0)
+        boundary = gowalla_split.train_boundary(0)
+        candidates = sorted(set(sequence.items[:boundary].tolist()))[:5]
+        early = model.score(sequence, candidates, boundary - 50)
+        late = model.score(sequence, candidates, boundary + 40)
+        assert not np.allclose(early, late)
+
+
+class TestDYRC:
+    def test_recency_ranks(self):
+        sequence = ConsumptionSequence(0, [1, 2, 3, 2])
+        window = window_before(sequence, 4, 10)
+        ranks = recency_ranks(window, [2, 3, 1, 99])
+        # Last occurrences: 2@3, 3@2, 1@0 -> ranks 1, 2, 3; absent -> 4.
+        assert ranks.tolist() == [1, 2, 3, 4]
+
+    def test_fit_learns_positive_quality_weight(self, gowalla_split):
+        model = DYRCRecommender(n_iterations=120).fit(gowalla_split)
+        # The Gowalla-like generator reconsumes high-quality items more.
+        assert model.quality_weight_ > 0
+        assert len(model.log_likelihood_path_) > 0
+        # The likelihood must improve over training.
+        assert model.log_likelihood_path_[-1] > model.log_likelihood_path_[0]
+
+    def test_beats_random(self, gowalla_split):
+        dyrc = evaluate_recommender(
+            DYRCRecommender(n_iterations=120).fit(gowalla_split), gowalla_split
+        )
+        random_result = evaluate_recommender(
+            RandomRecommender(random_state=0).fit(gowalla_split), gowalla_split
+        )
+        assert dyrc.maap[10] > random_result.maap[10]
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            DYRCRecommender(learning_rate=0)
+        with pytest.raises(Exception):
+            DYRCRecommender(n_iterations=0)
+
+
+class TestSurvivalRecommender:
+    def test_fit_and_evaluate(self, gowalla_split):
+        model = SurvivalRecommender().fit(gowalla_split)
+        result = evaluate_recommender(model, gowalla_split)
+        assert 0.0 <= result.maap[10] <= 1.0
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            SurvivalRecommender(mode="bogus")
+
+    def test_hazard_mode_scores_in_unit_interval(self, gowalla_split):
+        model = SurvivalRecommender(mode="hazard").fit(gowalla_split)
+        sequence = gowalla_split.full_sequence(0)
+        t = gowalla_split.train_boundary(0) + 2
+        candidates = sorted(set(sequence.items[:t].tolist()))[:10]
+        scores = model.score(sequence, candidates, t)
+        assert np.all((0 <= scores) & (scores <= 1))
+
+    def test_due_mode_prefers_due_items(self, gowalla_split):
+        """An item whose elapsed gap matches its expected return time
+        must outscore the same item queried far past its due point."""
+        model = SurvivalRecommender().fit(gowalla_split)
+        # Item 0 consumed with regular gap 5, last seen 5 steps ago (due)
+        # versus last seen 40 steps ago (overdue).
+        due = ConsumptionSequence(0, [0, 1, 2, 3, 4] * 8)
+        overdue = ConsumptionSequence(0, ([0] + [1, 2, 3, 4] * 10)[:45])
+        due_score = model.score(due, [0], 40)[0]
+        overdue_score = model.score(overdue, [0], 41)[0]
+        assert due_score > overdue_score
+
+
+class TestSTREC:
+    def test_fit_and_evaluate(self, gowalla_split):
+        model = STRECClassifier().fit(gowalla_split)
+        evaluation = model.evaluate(gowalla_split)
+        assert 0.0 <= evaluation.accuracy <= 1.0
+        assert evaluation.n_positions > 0
+        assert 0.0 <= evaluation.repeat_base_rate <= 1.0
+
+    def test_beats_chance_against_base_rate(self, gowalla_split):
+        model = STRECClassifier().fit(gowalla_split)
+        evaluation = model.evaluate(gowalla_split)
+        majority = max(
+            evaluation.repeat_base_rate, 1 - evaluation.repeat_base_rate
+        )
+        # The switch should at least match the majority-class strategy.
+        assert evaluation.accuracy >= majority - 0.02
+
+    def test_predict_position(self, gowalla_split):
+        model = STRECClassifier().fit(gowalla_split)
+        sequence = gowalla_split.full_sequence(0)
+        prediction = model.predict_position(sequence, len(sequence) - 1)
+        assert isinstance(prediction, bool)
+
+    def test_coefficients_exposed(self, gowalla_split):
+        model = STRECClassifier().fit(gowalla_split)
+        assert model.coefficients.shape == (4,)
+
+    def test_unfitted_raises(self, gowalla_split):
+        with pytest.raises(NotFittedError):
+            STRECClassifier().evaluate(gowalla_split)
+        with pytest.raises(NotFittedError):
+            STRECClassifier().coefficients

@@ -1,0 +1,188 @@
+"""Tests for repro.novel — novel-item recommendation and the mixture."""
+
+import numpy as np
+import pytest
+
+from repro.config import TSPPRConfig, WindowConfig
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import EvaluationError, NotFittedError, SamplingError
+from repro.models.strec import STRECClassifier
+from repro.models.tsppr import TSPPRRecommender
+from repro.novel.candidates import (
+    NovelEvaluationConfig,
+    consumed_items_before,
+    iter_novel_evaluation_positions,
+    sample_novel_candidates,
+)
+from repro.novel.mixture import MixtureRecommender, evaluate_next_item
+from repro.novel.models import NovelPopRecommender, NovelTSPPRRecommender
+from repro.novel.sampling import sample_novel_quadruples
+
+SMOKE = TSPPRConfig(max_epochs=6000, seed=4)
+
+
+class TestCandidates:
+    def test_consumed_items_before(self):
+        sequence = ConsumptionSequence(0, [3, 1, 3, 2])
+        assert consumed_items_before(sequence, 0) == set()
+        assert consumed_items_before(sequence, 3) == {1, 3}
+
+    def test_sample_excludes_consumed(self, rng):
+        candidates = sample_novel_candidates({0, 1, 2}, 10, 5, rng)
+        assert len(candidates) == 5
+        assert not set(candidates) & {0, 1, 2}
+
+    def test_sample_caps_at_available(self, rng):
+        candidates = sample_novel_candidates({0, 1}, 4, 10, rng)
+        assert sorted(candidates) == [2, 3]
+
+    def test_sample_empty_when_everything_consumed(self, rng):
+        assert sample_novel_candidates({0, 1}, 2, 3, rng) == []
+
+    def test_popularity_biased_sampling(self, rng):
+        popularity = np.zeros(100)
+        popularity[10] = 1000.0  # overwhelmingly popular
+        hits = 0
+        for _ in range(20):
+            candidates = sample_novel_candidates(
+                {0}, 100, 3, rng, popularity=popularity
+            )
+            hits += 10 in candidates
+        assert hits >= 18
+
+    def test_popularity_zero_for_consumed(self, rng):
+        popularity = np.zeros(10)
+        popularity[3] = 100.0
+        candidates = sample_novel_candidates(
+            {3}, 10, 2, rng, popularity=popularity
+        )
+        assert 3 not in candidates
+
+    def test_validation(self, rng):
+        with pytest.raises(EvaluationError):
+            sample_novel_candidates(set(), 10, 0, rng)
+        with pytest.raises(EvaluationError):
+            sample_novel_candidates(set(), 10, 2, rng, popularity=np.ones(3))
+        with pytest.raises(EvaluationError):
+            NovelEvaluationConfig(n_sampled_candidates=0)
+
+    def test_iter_novel_positions(self):
+        sequence = ConsumptionSequence(0, [1, 2, 1, 3, 2, 4])
+        rows = list(iter_novel_evaluation_positions(sequence, 2))
+        # Test side starts at t=2: 1 repeats, 3 novel, 2 repeats, 4 novel.
+        assert [t for t, _ in rows] == [3, 5]
+        t, consumed = rows[0]
+        assert consumed == {1, 2}
+
+
+class TestNovelSampling:
+    def test_positives_are_first_time(self, gowalla_split):
+        quadruples = sample_novel_quadruples(
+            gowalla_split, n_negatives=2, random_state=1
+        )
+        assert len(quadruples) > 0
+        for index in range(min(len(quadruples), 300)):
+            user, positive, negative, t = quadruples.row(index)
+            sequence = gowalla_split.full_sequence(user)
+            history = set(sequence.items[:t].tolist())
+            assert int(sequence[t]) == positive
+            assert positive not in history
+            assert negative not in history
+            assert negative != positive
+
+    def test_raises_without_novelty(self):
+        from repro.config import SplitConfig
+        from repro.data.dataset import Dataset
+        from repro.data.split import temporal_split
+
+        dataset = Dataset.from_user_items([[0, 0, 0, 0]], n_items=1)
+        split = temporal_split(
+            dataset, SplitConfig(train_fraction=0.75, min_train_length=1)
+        )
+        with pytest.raises(SamplingError, match="novel"):
+            sample_novel_quadruples(split, n_negatives=2)
+
+
+class TestNovelModels:
+    def test_novel_tsppr_trains_and_ranks(self, gowalla_split):
+        model = NovelTSPPRRecommender(SMOKE).fit(gowalla_split)
+        sequence = gowalla_split.full_sequence(0)
+        t = gowalla_split.train_boundary(0)
+        consumed = consumed_items_before(sequence, t)
+        candidates = sample_novel_candidates(
+            consumed, gowalla_split.n_items, 20, random_state=0
+        )
+        ranked = model.recommend(sequence, candidates, t, 5)
+        assert len(ranked) == 5
+        assert set(ranked) <= set(candidates)
+
+    def test_novel_pop_demotes_consumed(self, gowalla_split):
+        model = NovelPopRecommender().fit(gowalla_split)
+        sequence = gowalla_split.full_sequence(0)
+        t = gowalla_split.train_boundary(0)
+        consumed_item = int(sequence[0])
+        fresh_item = next(
+            i for i in range(gowalla_split.n_items)
+            if i not in consumed_items_before(sequence, t)
+        )
+        ranked = model.recommend(sequence, [consumed_item, fresh_item], t, 2)
+        assert ranked[-1] == consumed_item
+
+
+class TestMixture:
+    @pytest.fixture(scope="class")
+    def mixture(self, gowalla_split):
+        strec = STRECClassifier().fit(gowalla_split)
+        rrc = TSPPRRecommender(SMOKE).fit(gowalla_split)
+        novel = NovelPopRecommender().fit(gowalla_split)
+        return MixtureRecommender(strec, rrc, novel)
+
+    def test_requires_fitted_components(self, gowalla_split):
+        strec = STRECClassifier().fit(gowalla_split)
+        with pytest.raises(NotFittedError):
+            MixtureRecommender(
+                strec, TSPPRRecommender(SMOKE), NovelPopRecommender()
+            )
+
+    def test_repeat_probability_in_unit_interval(self, mixture, gowalla_split):
+        sequence = gowalla_split.full_sequence(0)
+        p = mixture.repeat_probability(sequence, len(sequence) - 1)
+        assert 0.0 <= p <= 1.0
+
+    def test_recommend_blends_both_pools(self, mixture, gowalla_split):
+        sequence = gowalla_split.full_sequence(0)
+        t = gowalla_split.train_boundary(0)
+        repeat_pool = sorted(set(sequence.items[:t].tolist()))[:10]
+        novel_pool = sample_novel_candidates(
+            consumed_items_before(sequence, t),
+            gowalla_split.n_items, 10, random_state=2,
+        )
+        blended = mixture.recommend(sequence, t, 8, repeat_pool, novel_pool)
+        assert len(blended) == 8
+        assert len(set(blended)) == 8
+        assert set(blended) <= set(repeat_pool) | set(novel_pool)
+
+    def test_recommend_with_empty_repeat_pool(self, mixture, gowalla_split):
+        sequence = gowalla_split.full_sequence(0)
+        t = gowalla_split.train_boundary(0)
+        novel_pool = list(range(5))
+        blended = mixture.recommend(sequence, t, 3, [], novel_pool)
+        assert set(blended) <= set(novel_pool)
+
+    def test_k_validation(self, mixture, gowalla_split):
+        sequence = gowalla_split.full_sequence(0)
+        with pytest.raises(EvaluationError):
+            mixture.recommend(sequence, 5, 0, [1], [2])
+
+    def test_evaluate_next_item(self, mixture, gowalla_split):
+        result = evaluate_next_item(
+            mixture, gowalla_split,
+            novel_config=NovelEvaluationConfig(n_sampled_candidates=20),
+            random_state=3,
+            max_targets_per_user=30,
+        )
+        assert result.n_targets > 0
+        assert 0.0 <= result.repeat_share <= 1.0
+        for n, rate in result.hit_rate.items():
+            assert 0.0 <= rate <= 1.0
+        assert result.hit_rate[1] <= result.hit_rate[10]

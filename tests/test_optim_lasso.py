@@ -1,0 +1,112 @@
+"""Tests for repro.optim.lasso."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.optim.lasso import LogisticLasso, sigmoid, soft_threshold
+
+
+class TestSigmoid:
+    def test_known_values(self):
+        assert sigmoid(np.array(0.0)) == pytest.approx(0.5)
+        assert sigmoid(np.array(np.log(3))) == pytest.approx(0.75)
+
+    def test_extreme_values_do_not_overflow(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_symmetry(self, rng):
+        z = rng.normal(size=50)
+        assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+    def test_monotone(self):
+        z = np.linspace(-5, 5, 101)
+        assert np.all(np.diff(sigmoid(z)) > 0)
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        values = np.array([-3.0, -0.5, 0.0, 0.5, 3.0])
+        out = soft_threshold(values, 1.0)
+        assert out.tolist() == [-2.0, 0.0, 0.0, 0.0, 2.0]
+
+    def test_zero_threshold_is_identity(self, rng):
+        values = rng.normal(size=20)
+        assert np.allclose(soft_threshold(values, 0.0), values)
+
+
+class TestLogisticLasso:
+    def _separable_data(self, rng, n=400):
+        X = rng.normal(size=(n, 3))
+        # Only feature 0 matters.
+        y = (X[:, 0] > 0).astype(int)
+        return X, y
+
+    def test_fits_separable_problem(self, rng):
+        X, y = self._separable_data(rng)
+        model = LogisticLasso(alpha=1e-3).fit(X, y)
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.95
+        assert abs(model.coef_[0]) > abs(model.coef_[1])
+        assert abs(model.coef_[0]) > abs(model.coef_[2])
+
+    def test_strong_penalty_zeroes_noise_features(self, rng):
+        X, y = self._separable_data(rng)
+        model = LogisticLasso(alpha=0.05).fit(X, y)
+        assert model.coef_[1] == 0.0
+        assert model.coef_[2] == 0.0
+        assert model.coef_[0] != 0.0
+        assert model.sparsity() == pytest.approx(2 / 3)
+
+    def test_huge_penalty_zeroes_everything(self, rng):
+        X, y = self._separable_data(rng)
+        model = LogisticLasso(alpha=10.0).fit(X, y)
+        assert np.all(model.coef_ == 0.0)
+
+    def test_intercept_learns_base_rate(self, rng):
+        X = rng.normal(size=(500, 2)) * 0.01  # nearly useless features
+        y = np.ones(500, dtype=int)
+        y[:50] = 0  # 90% positive
+        model = LogisticLasso(alpha=0.0).fit(X, y)
+        assert model.intercept_ > 0
+        base = model.predict_proba(np.zeros((1, 2)))[0]
+        assert base == pytest.approx(0.9, abs=0.05)
+
+    def test_no_intercept_option(self, rng):
+        X, y = self._separable_data(rng)
+        model = LogisticLasso(alpha=1e-3, fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+
+    def test_accepts_plus_minus_labels(self, rng):
+        X, y = self._separable_data(rng)
+        signs = np.where(y == 1, 1.0, -1.0)
+        a = LogisticLasso(alpha=1e-3).fit(X, y)
+        b = LogisticLasso(alpha=1e-3).fit(X, signs)
+        assert np.allclose(a.coef_, b.coef_)
+
+    def test_rejects_nonbinary_labels(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="binary"):
+            LogisticLasso().fit(X, np.arange(10))
+
+    def test_rejects_mismatched_shapes(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            LogisticLasso().fit(rng.normal(size=(10, 2)), np.zeros(5))
+
+    def test_rejects_1d_design(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LogisticLasso().fit(np.zeros(10), np.zeros(10))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticLasso().predict(np.zeros((1, 2)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LogisticLasso(alpha=-1)
+        with pytest.raises(ValueError):
+            LogisticLasso(max_iter=0)
+        with pytest.raises(ValueError):
+            LogisticLasso(tol=0)

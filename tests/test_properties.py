@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+# Several properties compare against intentionally naive O(n²) oracles;
+# a moderate example budget keeps the suite fast while still exploring
+# the repetition-heavy space well.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.data.sequence import ConsumptionSequence
+from repro.data.vocab import Vocabulary
+from repro.evaluation.metrics import UserCounts, aggregate_accuracy
+from repro.optim.lasso import sigmoid, soft_threshold
+from repro.synth.popularity import ZipfPopularity
+from repro.windows.repeat import (
+    candidate_items,
+    is_valid_target,
+    iter_repeat_positions,
+    recent_items,
+)
+from repro.windows.window import window_before
+
+# Small alphabets force plenty of repetition — the interesting regime.
+item_sequences = st.lists(
+    st.integers(min_value=0, max_value=7), min_size=1, max_size=60
+)
+window_sizes = st.integers(min_value=2, max_value=20)
+
+
+class TestVocabularyProperties:
+    @given(st.lists(st.text(max_size=5)))
+    def test_roundtrip_for_any_ids(self, ids):
+        vocab = Vocabulary(ids)
+        for raw_id in ids:
+            assert vocab.id_of(vocab.index_of(raw_id)) == raw_id
+
+    @given(st.lists(st.integers(), unique=True))
+    def test_indices_are_dense(self, ids):
+        vocab = Vocabulary(ids)
+        assert sorted(vocab.index_of(i) for i in ids) == list(range(len(ids)))
+
+
+class TestSequenceProperties:
+    @given(item_sequences)
+    def test_last_position_before_matches_naive(self, items):
+        sequence = ConsumptionSequence(0, items)
+        for t in range(len(items) + 1):
+            for item in set(items):
+                naive = max((p for p in range(t) if items[p] == item), default=-1)
+                assert sequence.last_position_before(item, t) == naive
+
+    @given(item_sequences)
+    def test_count_before_matches_naive(self, items):
+        sequence = ConsumptionSequence(0, items)
+        for t in range(len(items) + 1):
+            for item in set(items):
+                assert sequence.count_before(item, t) == items[:t].count(item)
+
+    @given(item_sequences, st.integers(min_value=0, max_value=60))
+    def test_prefix_suffix_partition(self, items, cut):
+        sequence = ConsumptionSequence(0, items)
+        cut = min(cut, len(items))
+        assert sequence.prefix(cut).concat(sequence.suffix(cut)) == sequence
+
+
+class TestWindowProperties:
+    @given(item_sequences, window_sizes)
+    def test_window_contents_match_slice(self, items, size):
+        sequence = ConsumptionSequence(0, items)
+        for t in range(len(items) + 1):
+            window = window_before(sequence, t, size)
+            expected = items[max(0, t - size):t]
+            assert window.items.tolist() == expected
+            assert window.item_set == frozenset(expected)
+            for item in set(expected):
+                assert window.count(item) == expected.count(item)
+
+    @given(item_sequences, window_sizes)
+    def test_familiarity_sums_to_one(self, items, size):
+        sequence = ConsumptionSequence(0, items)
+        t = len(items)
+        window = window_before(sequence, t, size)
+        if len(window):
+            total = sum(window.familiarity(v) for v in window.item_set)
+            assert total == pytest.approx(1.0)
+
+
+class TestRepeatProtocolProperties:
+    @given(item_sequences, window_sizes, st.integers(min_value=1, max_value=10))
+    def test_iter_positions_are_exactly_valid_targets(self, items, size, gap):
+        if gap >= size:
+            gap = size - 1
+        if gap < 1:
+            return
+        sequence = ConsumptionSequence(0, items)
+        fast = {t for t, _ in iter_repeat_positions(sequence, size, gap)}
+        naive = {
+            t
+            for t in range(1, len(items))
+            if is_valid_target(sequence, t, size, gap)
+        }
+        assert fast == naive
+
+    @given(item_sequences, window_sizes, st.integers(min_value=1, max_value=10))
+    def test_candidates_disjoint_from_recent(self, items, size, gap):
+        if gap >= size:
+            gap = size - 1
+        if gap < 1:
+            return
+        sequence = ConsumptionSequence(0, items)
+        for t in range(len(items) + 1):
+            candidates = set(candidate_items(sequence, t, size, gap))
+            recent = recent_items(sequence, t, gap)
+            window = set(window_before(sequence, t, size).item_set)
+            assert candidates.isdisjoint(recent)
+            assert candidates <= window
+
+
+class TestMetricProperties:
+    counts_strategy = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),  # targets
+            st.floats(min_value=0.0, max_value=1.0),  # hit rate
+        ),
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(counts_strategy)
+    def test_metrics_bounded_and_consistent(self, raw):
+        per_user = []
+        any_targets = False
+        for n_targets, rate in raw:
+            hits = int(round(n_targets * rate))
+            per_user.append(UserCounts(n_targets=n_targets, hits={1: hits}))
+            any_targets = any_targets or n_targets > 0
+        if not any_targets:
+            return
+        result = aggregate_accuracy(per_user, [1])
+        assert 0.0 <= result.maap[1] <= 1.0
+        assert 0.0 <= result.miap[1] <= 1.0
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_perfect_recommender_scores_one(self, n_targets):
+        per_user = [UserCounts(n_targets=n_targets, hits={1: n_targets})]
+        result = aggregate_accuracy(per_user, [1])
+        assert result.maap[1] == 1.0
+        assert result.miap[1] == 1.0
+
+
+class TestOptimProperties:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-700, max_value=700),
+                    min_size=1, max_size=100))
+    def test_sigmoid_bounded(self, values):
+        out = sigmoid(np.array(values))
+        assert np.all((out >= 0) & (out <= 1))
+
+    @given(
+        st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                           min_value=-1e6, max_value=1e6),
+                 min_size=1, max_size=50),
+        st.floats(min_value=0, max_value=1e5),
+    )
+    def test_soft_threshold_shrinks(self, values, threshold):
+        array = np.array(values)
+        out = soft_threshold(array, threshold)
+        assert np.all(np.abs(out) <= np.abs(array) + 1e-12)
+        assert np.all(np.sign(out) * np.sign(array) >= 0)
+
+
+class TestZipfProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_distribution_valid(self, n_items, exponent):
+        zipf = ZipfPopularity(n_items, exponent)
+        probabilities = zipf.probabilities
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities > 0)
+        assert np.all(np.diff(probabilities) <= 1e-18)
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(st.integers(min_value=2, max_value=100))
+    def test_samples_in_range(self, n_items):
+        zipf = ZipfPopularity(n_items, 1.0)
+        samples = zipf.sample(200, np.random.default_rng(0))
+        assert samples.min() >= 0
+        assert samples.max() < n_items

@@ -1,0 +1,58 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, derive_seed, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_uses_default_seed(self):
+        a = ensure_rng(None)
+        b = ensure_rng(DEFAULT_SEED)
+        assert a.random() == b.random()
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="random_state"):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.random() for g in spawn(7, 3)]
+        second = [g.random() for g in spawn(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3  # distinct streams
+
+    def test_zero_children(self):
+        assert list(spawn(7, 0)) == []
+
+    def test_negative_children_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            list(spawn(7, -1))
+
+    def test_spawn_from_generator(self):
+        generator = np.random.default_rng(3)
+        children = list(spawn(generator, 2))
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, 1, 2) == derive_seed(5, 1, 2)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(5, 1) != derive_seed(5, 2)
+
+    def test_none_base_uses_default(self):
+        assert derive_seed(None, 1) == derive_seed(DEFAULT_SEED, 1)
+
+    def test_result_is_int(self):
+        assert isinstance(derive_seed(5, 9), int)

@@ -1,0 +1,101 @@
+"""Tests for repro.evaluation.significance."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.significance import (
+    collect_hit_vectors,
+    paired_bootstrap,
+    permutation_test,
+)
+from repro.exceptions import EvaluationError
+from repro.models.pop import PopRecommender
+from repro.models.random_rec import RandomRecommender
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self, rng):
+        n = 400
+        hits_b = (rng.random(n) < 0.3).astype(float)
+        hits_a = np.minimum(hits_b + (rng.random(n) < 0.4), 1.0)
+        comparison = paired_bootstrap(hits_a, hits_b, random_state=1)
+        assert comparison.observed_difference > 0
+        assert comparison.significant
+        assert comparison.win_probability > 0.99
+        assert comparison.ci_low <= comparison.observed_difference <= comparison.ci_high
+
+    def test_identical_models_not_significant(self, rng):
+        hits = (rng.random(300) < 0.5).astype(float)
+        comparison = paired_bootstrap(hits, hits, random_state=2)
+        assert comparison.observed_difference == 0.0
+        assert not comparison.significant
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap(np.ones(3), np.ones(4))
+        with pytest.raises(EvaluationError):
+            paired_bootstrap(np.empty(0), np.empty(0))
+        with pytest.raises(EvaluationError):
+            paired_bootstrap(np.ones(3), np.ones(3), confidence=1.5)
+        with pytest.raises(EvaluationError):
+            paired_bootstrap(np.ones(3), np.ones(3), n_resamples=0)
+
+    def test_deterministic_given_seed(self, rng):
+        a = (rng.random(100) < 0.4).astype(float)
+        b = (rng.random(100) < 0.4).astype(float)
+        first = paired_bootstrap(a, b, random_state=5)
+        second = paired_bootstrap(a, b, random_state=5)
+        assert first == second
+
+
+class TestPermutationTest:
+    def test_null_gives_large_p(self, rng):
+        a = (rng.random(300) < 0.5).astype(float)
+        p = permutation_test(a, a, random_state=3)
+        assert p > 0.9  # zero difference can never look extreme
+
+    def test_strong_effect_gives_small_p(self, rng):
+        n = 300
+        b = (rng.random(n) < 0.2).astype(float)
+        a = np.minimum(b + (rng.random(n) < 0.5), 1.0)
+        p = permutation_test(a, b, random_state=4)
+        assert p < 0.01
+
+    def test_p_value_in_unit_interval(self, rng):
+        a = (rng.random(50) < 0.5).astype(float)
+        b = (rng.random(50) < 0.5).astype(float)
+        p = permutation_test(a, b, random_state=6)
+        assert 0.0 < p <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            permutation_test(np.ones(2), np.ones(3))
+        with pytest.raises(EvaluationError):
+            permutation_test(np.empty(0), np.empty(0))
+        with pytest.raises(EvaluationError):
+            permutation_test(np.ones(3), np.ones(3), n_permutations=0)
+
+
+class TestCollectHitVectors:
+    def test_paired_shape_and_values(self, gowalla_split):
+        models = [
+            PopRecommender().fit(gowalla_split),
+            RandomRecommender(random_state=0).fit(gowalla_split),
+        ]
+        matrix = collect_hit_vectors(models, gowalla_split, top_n=5)
+        assert matrix.shape[0] == 2
+        assert matrix.shape[1] > 0
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+
+    def test_pop_beats_random_significantly(self, gowalla_split):
+        models = [
+            PopRecommender().fit(gowalla_split),
+            RandomRecommender(random_state=0).fit(gowalla_split),
+        ]
+        matrix = collect_hit_vectors(models, gowalla_split, top_n=5)
+        comparison = paired_bootstrap(matrix[0], matrix[1], random_state=7)
+        assert comparison.observed_difference > 0
+
+    def test_empty_model_list_rejected(self, gowalla_split):
+        with pytest.raises(EvaluationError):
+            collect_hit_vectors([], gowalla_split)

@@ -1,0 +1,183 @@
+"""Tests for repro.survival.cox — the from-scratch Cox PH estimator."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError, NotFittedError
+from repro.survival.cox import CoxPHModel
+from repro.survival.datasets import (
+    DEFAULT_GAP,
+    SurvivalData,
+    build_return_time_data,
+    return_covariates,
+    weighted_average_gap,
+)
+
+
+def _exponential_cox_data(rng, n=600, beta=(0.8, -0.5), censor_rate=0.2):
+    """Durations from an exponential PH model with known coefficients."""
+    beta = np.asarray(beta)
+    X = rng.normal(size=(n, beta.size))
+    hazards = np.exp(X @ beta)
+    durations = rng.exponential(1.0 / hazards)
+    events = (rng.random(n) > censor_rate).astype(float)
+    # Censored observations are observed for a shorter random time.
+    durations = np.where(events > 0, durations, durations * rng.random(n))
+    durations = np.maximum(durations, 1e-6)
+    return durations, events, X
+
+
+class TestCoxFit:
+    def test_recovers_known_coefficients(self, rng):
+        durations, events, X = _exponential_cox_data(rng)
+        model = CoxPHModel(l2_penalty=0.0).fit(durations, events, X)
+        assert model.coef_[0] == pytest.approx(0.8, abs=0.2)
+        assert model.coef_[1] == pytest.approx(-0.5, abs=0.2)
+
+    def test_handles_heavy_ties(self, rng):
+        # Discrete durations produce massive ties (the RRC regime).
+        durations, events, X = _exponential_cox_data(rng, n=400)
+        durations = np.ceil(durations * 3)
+        model = CoxPHModel().fit(durations, events, X)
+        assert model.coef_[0] > 0
+        assert model.coef_[1] < 0
+
+    def test_null_covariate_gets_near_zero_weight(self, rng):
+        n = 500
+        X = rng.normal(size=(n, 1))
+        durations = rng.exponential(1.0, size=n) + 1e-6
+        events = np.ones(n)
+        model = CoxPHModel(l2_penalty=0.0).fit(durations, events, X)
+        assert abs(model.coef_[0]) < 0.1
+
+    def test_concordance_above_chance(self, rng):
+        durations, events, X = _exponential_cox_data(rng, n=300)
+        model = CoxPHModel().fit(durations, events, X)
+        assert model.concordance_index(durations, events, X) > 0.6
+
+    def test_validation_errors(self, rng):
+        X = rng.normal(size=(5, 2))
+        good_durations = np.ones(5)
+        good_events = np.ones(5)
+        with pytest.raises(DataError, match="positive"):
+            CoxPHModel().fit(np.zeros(5), good_events, X)
+        with pytest.raises(DataError, match="0/1"):
+            CoxPHModel().fit(good_durations, np.full(5, 2.0), X)
+        with pytest.raises(DataError, match="uncensored"):
+            CoxPHModel().fit(good_durations, np.zeros(5), X)
+        with pytest.raises(DataError, match="agree"):
+            CoxPHModel().fit(np.ones(4), good_events, X)
+        with pytest.raises(DataError, match="2-D"):
+            CoxPHModel().fit(good_durations, good_events, np.ones(5))
+        with pytest.raises(DataError, match="zero"):
+            CoxPHModel().fit(np.empty(0), np.empty(0), np.empty((0, 1)))
+
+    def test_unfitted_raises(self):
+        model = CoxPHModel()
+        with pytest.raises(NotFittedError):
+            model.predict_partial_hazard(np.zeros((1, 2)))
+
+
+class TestCoxPrediction:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(99)
+        durations, events, X = _exponential_cox_data(rng)
+        return CoxPHModel().fit(durations, events, X), X
+
+    def test_baseline_cumhaz_monotone(self, fitted):
+        model, _ = fitted
+        assert np.all(np.diff(model.baseline_cumhaz_) > 0)
+
+    def test_partial_hazard_monotone_in_risky_covariate(self, fitted):
+        model, _ = fitted
+        low = model.predict_partial_hazard(np.array([[-1.0, 0.0]]))
+        high = model.predict_partial_hazard(np.array([[1.0, 0.0]]))
+        assert high > low
+
+    def test_survival_function_decreasing_in_time(self, fitted):
+        model, _ = fitted
+        times = np.array([0.5, 1.0, 2.0, 4.0])
+        x = np.tile([[0.2, 0.1]], (4, 1))
+        survival = model.survival_function(times, x)
+        assert np.all(np.diff(survival) <= 0)
+        assert np.all((0 <= survival) & (survival <= 1))
+
+    def test_cumulative_hazard_scales_with_risk(self, fitted):
+        model, _ = fitted
+        times = np.array([1.0, 1.0])
+        x = np.array([[0.0, 0.0], [1.0, 0.0]])
+        hazard = model.cumulative_hazard(times, x)
+        ratio = hazard[1] / hazard[0]
+        expected = (
+            model.predict_partial_hazard(np.array([[1.0, 0.0]]))[0]
+            / model.predict_partial_hazard(np.array([[0.0, 0.0]]))[0]
+        )
+        assert ratio == pytest.approx(float(expected), rel=1e-9)
+
+    def test_expected_return_time_shorter_for_risky(self, fitted):
+        model, _ = fitted
+        expected = model.expected_return_time(
+            np.array([[1.0, 0.0], [-1.0, 0.0]])
+        )
+        assert expected[0] < expected[1]
+        assert np.all(expected > 0)
+
+    def test_expected_return_score_in_unit_interval(self, fitted):
+        model, _ = fitted
+        scores = model.expected_return_score(
+            np.array([1.0, 5.0]), np.array([[0.0, 0.0], [0.5, -0.5]])
+        )
+        assert np.all((0 < scores) & (scores < 1))
+
+    def test_pairing_validation(self, fitted):
+        model, _ = fitted
+        with pytest.raises(DataError, match="pair"):
+            model.cumulative_hazard(np.ones(3), np.zeros((2, 2)))
+
+
+class TestSurvivalDatasets:
+    def test_weighted_average_gap_empty_default(self):
+        assert weighted_average_gap([]) == DEFAULT_GAP
+
+    def test_weighted_average_weights_recent_more(self):
+        # Newest gap 10 vs oldest 1: the average must lean toward 10.
+        assert weighted_average_gap([1.0, 10.0]) > 5.5
+        assert weighted_average_gap([10.0, 1.0]) < 5.5
+
+    def test_weighted_average_single(self):
+        assert weighted_average_gap([7.0]) == pytest.approx(7.0)
+
+    def test_return_covariates_validation(self):
+        with pytest.raises(DataError):
+            return_covariates(10.0, 0)
+        with pytest.raises(DataError):
+            return_covariates(0.0, 1)
+
+    def test_build_return_time_data_counts(self):
+        # One user: [0, 1, 0, 0] -> events: gap2 (0), gap1 (0);
+        # censored: item 0 (1 step), item 1 (3 steps).
+        dataset = Dataset.from_user_items([[0, 1, 0, 0]], n_items=2)
+        data = build_return_time_data(dataset)
+        assert len(data) == 4
+        assert data.n_events == 2
+        event_gaps = sorted(data.durations[data.events > 0].tolist())
+        assert event_gaps == [1.0, 2.0]
+
+    def test_build_respects_observation_cap(self, gowalla_dataset):
+        full = build_return_time_data(gowalla_dataset)
+        capped = build_return_time_data(
+            gowalla_dataset, max_observations_per_user=5
+        )
+        assert len(capped) <= 5 * gowalla_dataset.n_users
+        assert len(capped) < len(full)
+
+    def test_no_intervals_raises(self):
+        dataset = Dataset.from_user_items([[]], n_items=1)
+        with pytest.raises(DataError, match="no return intervals"):
+            build_return_time_data(dataset)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(DataError):
+            SurvivalData(np.ones(3), np.ones(2), np.ones((3, 2)))

@@ -1,0 +1,74 @@
+"""Tests for repro.tuning.grid."""
+
+import pytest
+
+from repro.config import TSPPRConfig
+from repro.exceptions import ExperimentError
+from repro.tuning.grid import GridSearch, expand_grid
+
+SMOKE = TSPPRConfig(max_epochs=3000, seed=2)
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        points = list(expand_grid({"a": [1, 2], "b": ["x"]}))
+        assert points == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_deterministic_key_order(self):
+        first = list(expand_grid({"b": [1, 2], "a": [3]}))
+        second = list(expand_grid({"a": [3], "b": [1, 2]}))
+        assert first == second
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            list(expand_grid({}))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExperimentError):
+            list(expand_grid({"a": []}))
+
+
+class TestGridSearch:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown grid axis"):
+            GridSearch({"bogus_param": [1]})
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(ExperimentError, match="metric"):
+            GridSearch({"n_factors": [5]}, metric="precision")
+
+    def test_best_before_fit_raises(self):
+        search = GridSearch({"n_factors": [5]})
+        with pytest.raises(ExperimentError):
+            search.best
+
+    def test_searches_config_axis(self, gowalla_split):
+        search = GridSearch(
+            {"n_factors": [4, 16]},
+            base_config=SMOKE,
+            top_n=10,
+        ).fit(gowalla_split)
+        assert len(search.results) == 2
+        assert search.results[0].score >= search.results[1].score
+        assert search.best.parameters["n_factors"] in (4, 16)
+        rows = search.as_rows()
+        assert rows[0]["score"] == round(search.best.score, 4)
+
+    def test_searches_window_axis(self, gowalla_split):
+        search = GridSearch(
+            {"min_gap": [5, 20]},
+            base_config=SMOKE,
+        ).fit(gowalla_split)
+        assert len(search.results) == 2
+        gaps = {point.parameters["min_gap"] for point in search.results}
+        assert gaps == {5, 20}
+
+    def test_custom_model_factory(self, gowalla_split):
+        from repro.models.ppr import PPRRecommender
+
+        search = GridSearch(
+            {"n_factors": [4]},
+            base_config=SMOKE,
+            model_factory=PPRRecommender,
+        ).fit(gowalla_split)
+        assert len(search.results) == 1

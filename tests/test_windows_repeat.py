@@ -1,0 +1,143 @@
+"""Tests for repro.windows.repeat — the RRC protocol's core semantics."""
+
+import pytest
+
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import DataError
+from repro.windows.repeat import (
+    candidate_items,
+    is_repeat,
+    is_valid_target,
+    iter_evaluation_positions,
+    iter_repeat_positions,
+    recent_items,
+)
+
+
+@pytest.fixture()
+def sequence() -> ConsumptionSequence:
+    #          t: 0  1  2  3  4  5  6  7  8
+    return ConsumptionSequence(0, [1, 2, 3, 1, 4, 2, 5, 1, 3])
+
+
+class TestRecentItems:
+    def test_basic(self, sequence):
+        assert recent_items(sequence, 5, 2) == {1, 4}
+        assert recent_items(sequence, 5, 5) == {1, 2, 3, 4}
+
+    def test_zero_gap_is_empty(self, sequence):
+        assert recent_items(sequence, 5, 0) == set()
+
+    def test_at_start(self, sequence):
+        assert recent_items(sequence, 0, 3) == set()
+
+    def test_negative_gap_rejected(self, sequence):
+        with pytest.raises(DataError):
+            recent_items(sequence, 3, -1)
+
+
+class TestIsRepeat:
+    def test_repeat_inside_window(self, sequence):
+        assert is_repeat(sequence, 3, window_size=5)   # item 1 at t=0
+        assert is_repeat(sequence, 5, window_size=5)   # item 2 at t=1
+
+    def test_not_repeat_outside_window(self, sequence):
+        # Item 2 last at t=1; window of 2 before t=5 covers t=3,4 only.
+        assert not is_repeat(sequence, 5, window_size=2)
+
+    def test_first_occurrence_is_novel(self, sequence):
+        assert not is_repeat(sequence, 4, window_size=5)  # item 4 is new
+
+    def test_position_bounds(self, sequence):
+        with pytest.raises(DataError):
+            is_repeat(sequence, len(sequence), window_size=3)
+
+
+class TestIsValidTarget:
+    def test_repeat_beyond_gap_is_valid(self, sequence):
+        # t=7 item 1, last at t=3, gap 4 > Ω=2 and within window 6.
+        assert is_valid_target(sequence, 7, window_size=6, min_gap=2)
+
+    def test_repeat_within_gap_is_invalid(self, sequence):
+        # t=3 item 1, last at t=0, gap 3 <= Ω=3.
+        assert not is_valid_target(sequence, 3, window_size=6, min_gap=3)
+
+    def test_novel_is_invalid(self, sequence):
+        assert not is_valid_target(sequence, 6, window_size=6, min_gap=1)
+
+
+class TestCandidateItems:
+    def test_excludes_recent_and_sorts(self, sequence):
+        # Before t=7: window(5) = {4,2,5} at t 2..6 -> items 3,1,4,2,5.
+        # Recent(2) = {2, 5}.
+        assert candidate_items(sequence, 7, window_size=5, min_gap=2) == [1, 3, 4]
+
+    def test_empty_when_gap_covers_window(self, sequence):
+        assert candidate_items(sequence, 4, window_size=3, min_gap=3) == []
+
+
+class TestIterRepeatPositions:
+    def test_yields_expected_positions(self, sequence):
+        positions = [
+            t for t, _ in iter_repeat_positions(sequence, window_size=8, min_gap=2)
+        ]
+        # t=3 (item1 gap 3), t=5 (item2 gap 4), t=7 (item1 gap 4),
+        # t=8 (item3 gap 6). All > Ω=2 and within window 8.
+        assert positions == [3, 5, 7, 8]
+
+    def test_min_gap_filters(self, sequence):
+        positions = [
+            t for t, _ in iter_repeat_positions(sequence, window_size=8, min_gap=4)
+        ]
+        assert positions == [8]
+
+    def test_window_filters(self, sequence):
+        positions = [
+            t for t, _ in iter_repeat_positions(sequence, window_size=4, min_gap=2)
+        ]
+        # t=8's item 3 has gap 6 > window 4 -> dropped.
+        assert positions == [3, 5, 7]
+
+    def test_stop_parameter(self, sequence):
+        positions = [
+            t
+            for t, _ in iter_repeat_positions(
+                sequence, window_size=8, min_gap=2, stop=6
+            )
+        ]
+        assert positions == [3, 5]
+
+    def test_bad_range_rejected(self, sequence):
+        with pytest.raises(DataError):
+            list(iter_repeat_positions(sequence, 8, 2, start=5, stop=3))
+
+    def test_window_view_matches_position(self, sequence):
+        for t, view in iter_repeat_positions(sequence, window_size=4, min_gap=1):
+            assert view.end == t
+            assert view.start == max(0, t - 4)
+
+    def test_matches_naive_definition(self, gowalla_dataset):
+        sequence = gowalla_dataset.sequence(0)
+        fast = {
+            t for t, _ in iter_repeat_positions(sequence, 20, 3)
+        }
+        naive = set()
+        items = sequence.items.tolist()
+        for t in range(1, len(items)):
+            window = items[max(0, t - 20):t]
+            recent = set(items[max(0, t - 3):t])
+            if items[t] in window and items[t] not in recent:
+                naive.add(t)
+        assert fast == naive
+
+
+class TestIterEvaluationPositions:
+    def test_candidates_contain_truth(self, sequence):
+        rows = list(iter_evaluation_positions(sequence, 3, window_size=8, min_gap=2))
+        for t, candidates in rows:
+            assert int(sequence[t]) in candidates
+            assert candidates == sorted(candidates)
+
+    def test_starts_at_boundary(self, sequence):
+        rows = list(iter_evaluation_positions(sequence, 6, window_size=8, min_gap=2))
+        assert all(t >= 6 for t, _ in rows)

@@ -1,0 +1,80 @@
+"""Tests for repro.windows.window."""
+
+import pytest
+
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import DataError
+from repro.windows.window import WindowView, window_before
+
+
+@pytest.fixture()
+def sequence() -> ConsumptionSequence:
+    #          t: 0  1  2  3  4  5  6
+    return ConsumptionSequence(3, [1, 2, 1, 3, 2, 2, 4])
+
+
+class TestWindowBefore:
+    def test_full_window(self, sequence):
+        window = window_before(sequence, 5, 3)
+        assert window.items.tolist() == [1, 3, 2]
+        assert window.start == 2 and window.end == 5
+        assert window.user == 3
+
+    def test_truncated_at_start(self, sequence):
+        window = window_before(sequence, 2, 10)
+        assert window.items.tolist() == [1, 2]
+
+    def test_empty_window_at_zero(self, sequence):
+        window = window_before(sequence, 0, 5)
+        assert len(window) == 0
+        assert window.item_set == frozenset()
+
+    def test_window_at_sequence_end_allowed(self, sequence):
+        window = window_before(sequence, len(sequence), 3)
+        assert window.items.tolist() == [2, 2, 4]
+
+    def test_rejects_position_past_end(self, sequence):
+        with pytest.raises(DataError, match="outside"):
+            window_before(sequence, len(sequence) + 1, 3)
+
+    def test_rejects_negative_position(self, sequence):
+        with pytest.raises(DataError, match="outside"):
+            window_before(sequence, -1, 3)
+
+    def test_rejects_nonpositive_size(self, sequence):
+        with pytest.raises(DataError, match="window_size"):
+            window_before(sequence, 3, 0)
+
+
+class TestWindowView:
+    def test_contains_and_count(self, sequence):
+        window = window_before(sequence, 6, 6)  # items t=0..5: [1,2,1,3,2,2]
+        assert 2 in window
+        assert 1 in window
+        assert 4 not in window
+        assert window.count(2) == 3
+        assert window.count(99) == 0
+
+    def test_distinct_items_sorted(self, sequence):
+        window = window_before(sequence, 6, 6)
+        assert window.distinct_items() == [1, 2, 3]
+
+    def test_familiarity_matches_eq21(self, sequence):
+        window = window_before(sequence, 6, 6)  # [1,2,1,3,2,2], length 6
+        assert window.familiarity(2) == pytest.approx(3 / 6)
+        assert window.familiarity(3) == pytest.approx(1 / 6)
+        assert window.familiarity(99) == 0.0
+
+    def test_familiarity_empty_window(self, sequence):
+        window = window_before(sequence, 0, 5)
+        assert window.familiarity(1) == 0.0
+
+    def test_last_occurrence(self, sequence):
+        window = window_before(sequence, 6, 6)
+        assert window.last_occurrence(2) == 5
+        assert window.last_occurrence(1) == 2
+        assert window.last_occurrence(4) == -1
+
+    def test_item_set_is_frozen(self, sequence):
+        window = window_before(sequence, 6, 6)
+        assert isinstance(window.item_set, frozenset)
