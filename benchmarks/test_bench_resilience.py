@@ -1,0 +1,93 @@
+"""Overhead guard for training checkpoints.
+
+Checkpointing exists so long runs survive crashes; it must not tax the
+runs that don't crash. This bench fits the same TS-PPR model with and
+without a checkpoint manager and asserts the checkpointed fit stays
+within 5% of the plain fit (min-of-3 timings) while producing
+bit-identical parameters.
+
+The cadence mirrors production use: a snapshot every 256 convergence
+checks, i.e. every ~20k updates here. Snapshots cost ~15ms each
+(npz + fsync + rename, twice — dominated by fsync of the parameter
+payload), so the budget holds when they are amortized over real chunks
+of training; saving every check would blow it on any short run.
+"""
+
+import time
+
+import numpy as np
+
+from repro.config import TSPPRConfig
+from repro.data.split import temporal_split
+from repro.models.tsppr import TSPPRRecommender
+from repro.synth.gowalla import generate_gowalla
+
+# Tolerance tightened so the run spends its full update budget — the
+# timing must cover a long training run, not an early-converged one.
+CONFIG = TSPPRConfig(max_epochs=100_000, seed=8, convergence_tol=1e-9)
+CHECKPOINT_EVERY = 256
+
+
+def _split():
+    dataset = generate_gowalla(
+        random_state=101, user_factor=0.12, length_factor=0.6
+    )
+    return temporal_split(dataset)
+
+
+def _fit(split, checkpoint_dir=None):
+    model = TSPPRRecommender(CONFIG)
+    if checkpoint_dir is None:
+        model.fit(split)
+    else:
+        model.fit(
+            split,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+    return model
+
+
+def _min_of_3(fn):
+    best_seconds, model = None, None
+    for _ in range(3):
+        start = time.perf_counter()
+        model = fn()
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return best_seconds, model
+
+
+def test_bench_checkpoint_overhead(benchmark, tmp_path):
+    split = _split()
+    benchmark.pedantic(lambda: _fit(split), rounds=1, iterations=1)  # warm-up
+
+    runs = iter(range(100))
+
+    def checkpointed():
+        # A fresh directory per run: resume must not kick in and
+        # shrink the measured work.
+        return _fit(split, checkpoint_dir=tmp_path / f"run{next(runs)}")
+
+    # Wall-clock ratios on a shared box are noisy; a single re-measure
+    # before failing keeps the guard tight without being flaky.
+    for attempt in range(2):
+        plain, model_plain = _min_of_3(lambda: _fit(split))
+        ckpt, model_ckpt = _min_of_3(checkpointed)
+        overhead = ckpt / plain - 1.0
+        n_snapshots = len(list((tmp_path / "run0").glob("ckpt-*.json")))
+        print(
+            f"\ncheckpoint overhead: plain={plain * 1e3:.1f}ms "
+            f"checkpointed={ckpt * 1e3:.1f}ms ({overhead:+.2%}, "
+            f"{n_snapshots} snapshots kept)"
+        )
+        if ckpt <= plain * 1.05:
+            break
+    assert ckpt <= plain * 1.05, (
+        f"checkpointing overhead {overhead:+.2%} exceeds the 5% budget"
+    )
+    assert np.array_equal(model_ckpt.user_factors_, model_plain.user_factors_)
+    assert np.array_equal(model_ckpt.item_factors_, model_plain.item_factors_)
+    assert np.array_equal(model_ckpt.mappings_, model_plain.mappings_)
+    assert model_ckpt.sgd_result_ == model_plain.sgd_result_

@@ -5,9 +5,20 @@ Usage::
     repro-experiments list
     repro-experiments run fig5 --scale fast
     repro-experiments run all --scale full --output results.txt
+    repro-experiments run all --journal runs/journal.json --retries 2
+    repro-experiments run all --journal runs/journal.json --resume
 
 ``run all`` executes every registered table/figure in id order and
 concatenates the rendered outputs — the full EXPERIMENTS.md evidence run.
+
+Crash safety: with ``--journal`` the CLI records each experiment's
+status (``pending/running/done/failed``) in an atomically-rewritten
+journal file, retries failures (``--retries`` with exponential
+``--retry-backoff``), keeps going past a failed experiment instead of
+aborting the whole evidence run, prints a one-line summary on exit,
+and returns a nonzero exit code iff anything remains failed.
+``--resume`` skips experiments the journal already marks ``done`` —
+rerun the same command after a crash and only unfinished work repeats.
 """
 
 from __future__ import annotations
@@ -16,14 +27,18 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import scale_by_name
 from repro.experiments.registry import (
+    ExperimentResult,
     available_experiments,
     run_experiment,
 )
-from repro.logging_utils import enable_console_logging
+from repro.logging_utils import enable_console_logging, get_logger
+from repro.resilience.journal import RunJournal
+
+logger = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,9 +77,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="also archive each result as <id>.json under this directory",
     )
     run_parser.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help=(
+            "track per-experiment status in this journal file; failures "
+            "no longer abort the run and the exit code reflects them"
+        ),
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments the journal already marks done (requires --journal)",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a failed experiment up to N extra times (requires --journal)",
+    )
+    run_parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        help="base seconds to sleep between retries (doubles per attempt)",
+    )
+    run_parser.add_argument(
         "--verbose", action="store_true", help="log progress to stderr"
     )
     return parser
+
+
+def _run_with_retries(
+    experiment_id: str,
+    scale,
+    journal: RunJournal,
+    retries: int,
+    retry_backoff: float,
+) -> Optional[ExperimentResult]:
+    """One experiment under the journal: retry on failure, never raise.
+
+    Returns ``None`` when every attempt failed (the journal keeps the
+    last error and the attempt count).
+    """
+    for attempt in range(retries + 1):
+        journal.mark(experiment_id, "running")
+        try:
+            result = run_experiment(experiment_id, scale)
+        except Exception as exc:  # noqa: BLE001 - journaled + retried
+            journal.mark(
+                experiment_id, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+            logger.warning(
+                "experiment %s failed (attempt %d/%d): %s",
+                experiment_id, attempt + 1, retries + 1, exc,
+            )
+            if attempt < retries and retry_backoff > 0:
+                time.sleep(retry_backoff * (2 ** attempt))
+        else:
+            journal.mark(experiment_id, "done")
+            return result
+    return None
 
 
 def _run(
@@ -72,14 +145,40 @@ def _run(
     scale_name: str,
     output: Optional[Path],
     json_dir: Optional[Path] = None,
-) -> str:
+    journal: Optional[RunJournal] = None,
+    resume: bool = False,
+    retries: int = 0,
+    retry_backoff: float = 0.0,
+) -> Tuple[str, int]:
+    """Run experiments; returns (rendered text, skipped count).
+
+    Without a journal this keeps the historical contract: the first
+    failure propagates. With one, failures are recorded/retried and the
+    remaining experiments still run.
+    """
     from repro.experiments.storage import save_result
 
     scale = scale_by_name(scale_name)
     blocks: List[str] = []
+    n_skipped = 0
     for experiment_id in experiment_ids:
+        if (
+            journal is not None
+            and resume
+            and journal.status_of(experiment_id) == "done"
+        ):
+            n_skipped += 1
+            logger.info("skipping %s (journal: done)", experiment_id)
+            continue
         start = time.perf_counter()
-        result = run_experiment(experiment_id, scale)
+        if journal is None:
+            result = run_experiment(experiment_id, scale)
+        else:
+            result = _run_with_retries(
+                experiment_id, scale, journal, retries, retry_backoff
+            )
+            if result is None:
+                continue
         elapsed = time.perf_counter() - start
         blocks.append(result.render())
         blocks.append(f"[{experiment_id} completed in {elapsed:.1f}s at scale {scale.name}]")
@@ -88,22 +187,58 @@ def _run(
     text = "\n\n".join(blocks)
     if output is not None:
         output.write_text(text + "\n")
-    return text
+    return text, n_skipped
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         for experiment_id in available_experiments():
             print(experiment_id)
         return 0
+
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
+    if args.retries and args.journal is None:
+        parser.error("--retries requires --journal")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
 
     if args.verbose:
         enable_console_logging()
     experiment_ids = (
         available_experiments() if args.experiment == "all" else [args.experiment]
     )
-    print(_run(experiment_ids, args.scale, args.output, args.json_dir))
+    journal = (
+        RunJournal.load(args.journal) if args.journal is not None else None
+    )
+    text, n_skipped = _run(
+        experiment_ids,
+        args.scale,
+        args.output,
+        args.json_dir,
+        journal=journal,
+        resume=args.resume,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+    )
+    print(text)
+    if journal is not None:
+        counts = journal.counts()
+        print(
+            f"journal: {counts['done']} done, {counts['failed']} failed, "
+            f"{n_skipped} skipped"
+        )
+        if counts["failed"]:
+            for experiment_id in journal.failed_ids():
+                entry = journal.entry(experiment_id)
+                print(
+                    f"  failed: {experiment_id} after {entry.attempts} "
+                    f"attempt(s): {entry.error}",
+                    file=sys.stderr,
+                )
+            return 1
     return 0
 
 

@@ -13,12 +13,25 @@ dense indices. A generic three-column format
 (``user<SEP>item<SEP>timestamp[<SEP>duration]``) covers both sources;
 the synthetic generators write the same format so the loader path is
 exercised end to end.
+
+Dirty-input policy (``on_error``): real logs contain garbage rows, and
+aborting a million-row load on row one is production-hostile. Readers
+accept ``on_error="raise"`` (default — first malformed row raises
+:class:`~repro.exceptions.DataError` with its line number) or
+``on_error="skip"`` — malformed rows are quarantined with their line
+numbers and reasons into a :class:`LoaderReport` and the stream
+continues, subject to an *error budget*: if more than
+``error_budget`` (a fraction, default 5%) of the data rows are bad,
+the load aborts with a :class:`~repro.exceptions.DataError` anyway,
+because at that point the log itself is suspect. Exactly-at-budget
+loads succeed. Writers go through the atomic temp-file + rename path
+so a crash mid-write never leaves a truncated log.
 """
 
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -26,9 +39,14 @@ from repro.data.dataset import Dataset
 from repro.data.sequence import ConsumptionSequence
 from repro.data.vocab import Vocabulary
 from repro.exceptions import DataError
+from repro.resilience.atomic import atomic_writer
 
 #: Play duration (seconds) below which a listen counts as a dislike.
 MIN_LISTEN_SECONDS = 30.0
+
+#: Default ceiling on the fraction of malformed rows tolerated in
+#: ``on_error="skip"`` mode before the whole load is aborted.
+DEFAULT_ERROR_BUDGET = 0.05
 
 
 @dataclass(frozen=True)
@@ -41,18 +59,124 @@ class EventRecord:
     duration: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class SkippedRow:
+    """One quarantined malformed row."""
+
+    line_number: int
+    reason: str
+
+
+@dataclass
+class LoaderReport:
+    """Quarantine report filled in by ``read_events(on_error="skip")``.
+
+    Attributes
+    ----------
+    path:
+        The log file the report describes.
+    n_rows:
+        Data rows seen (parsed + skipped; blank lines and the header
+        don't count).
+    skipped:
+        The quarantined rows, each with its line number and reason —
+        the triage artifact that used to be a crash.
+    """
+
+    path: Optional[str] = None
+    n_rows: int = 0
+    skipped: List[SkippedRow] = field(default_factory=list)
+
+    @property
+    def n_skipped(self) -> int:
+        return len(self.skipped)
+
+    @property
+    def error_fraction(self) -> float:
+        """Fraction of data rows quarantined (0.0 on an empty log)."""
+        return self.n_skipped / self.n_rows if self.n_rows else 0.0
+
+    def render(self) -> str:
+        """Human-readable quarantine summary."""
+        header = (
+            f"{self.path or '<log>'}: {self.n_skipped}/{self.n_rows} "
+            f"rows quarantined"
+        )
+        lines = [header]
+        for row in self.skipped:
+            lines.append(f"  line {row.line_number}: {row.reason}")
+        return "\n".join(lines)
+
+
+def _parse_row(
+    path: Path, line_number: int, row: List[str]
+) -> EventRecord:
+    """One data row -> :class:`EventRecord`, or :class:`DataError`."""
+    if len(row) < 3:
+        raise DataError(
+            f"{path}:{line_number}: expected at least 3 columns "
+            f"(user, item, timestamp), got {len(row)}"
+        )
+    user, item, raw_timestamp = row[0].strip(), row[1].strip(), row[2].strip()
+    if not user or not item:
+        raise DataError(f"{path}:{line_number}: empty user or item id")
+    try:
+        timestamp = float(raw_timestamp)
+    except ValueError as exc:
+        raise DataError(
+            f"{path}:{line_number}: bad timestamp {raw_timestamp!r}"
+        ) from exc
+    duration: Optional[float] = None
+    if len(row) >= 4 and row[3].strip():
+        try:
+            duration = float(row[3])
+        except ValueError as exc:
+            raise DataError(
+                f"{path}:{line_number}: bad duration {row[3]!r}"
+            ) from exc
+    return EventRecord(user=user, item=item, timestamp=timestamp, duration=duration)
+
+
 def read_events(
     path: Union[str, Path],
     delimiter: str = "\t",
     has_header: bool = False,
+    on_error: str = "raise",
+    error_budget: float = DEFAULT_ERROR_BUDGET,
+    report: Optional[LoaderReport] = None,
 ) -> Iterator[EventRecord]:
     """Stream :class:`EventRecord` objects from a delimited log file.
 
     Expected columns: ``user, item, timestamp[, duration]``. Blank lines
-    are skipped; malformed rows raise :class:`~repro.exceptions.DataError`
-    with the offending line number.
+    are skipped.
+
+    Parameters
+    ----------
+    on_error:
+        ``"raise"`` (default): the first malformed row raises
+        :class:`~repro.exceptions.DataError` with its line number.
+        ``"skip"``: malformed rows are quarantined into ``report`` and
+        skipped; when the stream ends, a :class:`DataError` is raised
+        if *more than* ``error_budget`` of the data rows were bad.
+    error_budget:
+        Tolerated malformed-row fraction in ``"skip"`` mode; exactly at
+        the budget passes, one row over aborts.
+    report:
+        Optional caller-owned :class:`LoaderReport` to fill in (one is
+        created internally otherwise, so the budget is still enforced).
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}"
+        )
+    if not 0.0 <= error_budget <= 1.0:
+        raise ValueError(
+            f"error_budget must lie in [0, 1], got {error_budget}"
+        )
     path = Path(path)
+    if report is None:
+        report = LoaderReport()
+    report.path = str(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
         for line_number, row in enumerate(reader, start=1):
@@ -60,29 +184,24 @@ def read_events(
                 continue
             if not row or all(not cell.strip() for cell in row):
                 continue
-            if len(row) < 3:
-                raise DataError(
-                    f"{path}:{line_number}: expected at least 3 columns "
-                    f"(user, item, timestamp), got {len(row)}"
-                )
-            user, item, raw_timestamp = row[0].strip(), row[1].strip(), row[2].strip()
-            if not user or not item:
-                raise DataError(f"{path}:{line_number}: empty user or item id")
+            report.n_rows += 1
             try:
-                timestamp = float(raw_timestamp)
-            except ValueError as exc:
-                raise DataError(
-                    f"{path}:{line_number}: bad timestamp {raw_timestamp!r}"
-                ) from exc
-            duration: Optional[float] = None
-            if len(row) >= 4 and row[3].strip():
-                try:
-                    duration = float(row[3])
-                except ValueError as exc:
-                    raise DataError(
-                        f"{path}:{line_number}: bad duration {row[3]!r}"
-                    ) from exc
-            yield EventRecord(user=user, item=item, timestamp=timestamp, duration=duration)
+                event = _parse_row(path, line_number, row)
+            except DataError as exc:
+                if on_error == "raise":
+                    raise
+                report.skipped.append(
+                    SkippedRow(line_number=line_number, reason=str(exc))
+                )
+                continue
+            yield event
+    if report.n_rows and report.error_fraction > error_budget:
+        first = report.skipped[0]
+        raise DataError(
+            f"{path}: {report.n_skipped}/{report.n_rows} rows malformed, "
+            f"over the {error_budget:.1%} error budget "
+            f"(first bad row: line {first.line_number}: {first.reason})"
+        )
 
 
 def write_events(
@@ -90,10 +209,14 @@ def write_events(
     events: Iterable[EventRecord],
     delimiter: str = "\t",
 ) -> int:
-    """Write events to a delimited log file; returns the row count."""
+    """Write events to a delimited log file; returns the row count.
+
+    The write is atomic (temp file + fsync + rename): a crash mid-write
+    leaves any pre-existing log untouched instead of truncated.
+    """
     path = Path(path)
     count = 0
-    with path.open("w", newline="") as handle:
+    with atomic_writer(path, "w", newline="") as handle:
         writer = csv.writer(handle, delimiter=delimiter)
         for event in events:
             row: List[object] = [event.user, event.item, repr(float(event.timestamp))]
@@ -153,11 +276,25 @@ def load_event_log(
     delimiter: str = "\t",
     has_header: bool = False,
     min_duration: Optional[float] = None,
+    on_error: str = "raise",
+    error_budget: float = DEFAULT_ERROR_BUDGET,
+    report: Optional[LoaderReport] = None,
 ) -> Dataset:
-    """Read a log file straight into a :class:`Dataset`."""
+    """Read a log file straight into a :class:`Dataset`.
+
+    ``on_error``/``error_budget``/``report`` forward to
+    :func:`read_events` (see the module docstring for the policy).
+    """
     path = Path(path)
     return events_to_dataset(
-        read_events(path, delimiter=delimiter, has_header=has_header),
+        read_events(
+            path,
+            delimiter=delimiter,
+            has_header=has_header,
+            on_error=on_error,
+            error_budget=error_budget,
+            report=report,
+        ),
         name=name or path.stem,
         min_duration=min_duration,
     )

@@ -44,6 +44,10 @@ class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its iteration budget."""
 
 
+class CheckpointError(ReproError):
+    """A training checkpoint is missing, corrupt, or incompatible."""
+
+
 class EvaluationError(ReproError):
     """The evaluation protocol received inconsistent inputs."""
 

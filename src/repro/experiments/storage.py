@@ -4,6 +4,14 @@
 can archive every :class:`~repro.experiments.registry.ExperimentResult`
 as a JSON document, so evidence runs are diffable and machine-readable
 (EXPERIMENTS.md's numbers are extracted from such archives).
+
+Crash safety: documents are written atomically (temp + fsync + rename)
+and carry a sha256 checksum over their own payload, so a crash mid-save
+can never leave a truncated archive and corruption is reported as a
+clear :class:`~repro.exceptions.ExperimentError` at load time instead
+of silently feeding wrong numbers downstream. Documents written before
+the checksum existed still load (the checksum is validated when
+present).
 """
 
 from __future__ import annotations
@@ -14,14 +22,21 @@ from typing import Dict, List, Union
 
 from repro.exceptions import ExperimentError
 from repro.experiments.registry import ExperimentResult
+from repro.resilience.atomic import atomic_write_json, sha256_bytes
 
 #: Schema version of the JSON document.
 STORAGE_VERSION = 1
 
 
+def _payload_checksum(payload: Dict) -> str:
+    """sha256 over the canonical JSON form, excluding the checksum field."""
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    return sha256_bytes(json.dumps(body, sort_keys=True).encode("utf-8"))
+
+
 def result_to_dict(result: ExperimentResult) -> Dict:
     """The JSON-serializable form of a result."""
-    return {
+    payload = {
         "storage_version": STORAGE_VERSION,
         "experiment_id": result.experiment_id,
         "title": result.title,
@@ -32,6 +47,8 @@ def result_to_dict(result: ExperimentResult) -> Dict:
         },
         "notes": list(result.notes),
     }
+    payload["checksum"] = _payload_checksum(payload)
+    return payload
 
 
 def result_from_dict(payload: Dict) -> ExperimentResult:
@@ -40,12 +57,19 @@ def result_from_dict(payload: Dict) -> ExperimentResult:
     Raises
     ------
     ExperimentError
-        On schema-version mismatch or missing fields.
+        On schema-version mismatch, checksum mismatch, or missing
+        fields.
     """
     if payload.get("storage_version") != STORAGE_VERSION:
         raise ExperimentError(
             f"unsupported result storage version "
             f"{payload.get('storage_version')!r}"
+        )
+    checksum = payload.get("checksum")
+    if checksum is not None and checksum != _payload_checksum(payload):
+        raise ExperimentError(
+            "result document checksum mismatch — the archive is "
+            "truncated or corrupted"
         )
     try:
         return ExperimentResult(
@@ -63,12 +87,10 @@ def result_from_dict(payload: Dict) -> ExperimentResult:
 
 
 def save_result(result: ExperimentResult, directory: Union[str, Path]) -> Path:
-    """Write ``<directory>/<experiment_id>.json``; returns the path."""
+    """Atomically write ``<directory>/<experiment_id>.json``; returns the path."""
     directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{result.experiment_id}.json"
-    path.write_text(json.dumps(result_to_dict(result), indent=2))
-    return path
+    return atomic_write_json(path, result_to_dict(result))
 
 
 def load_result(path: Union[str, Path]) -> ExperimentResult:
@@ -76,7 +98,13 @@ def load_result(path: Union[str, Path]) -> ExperimentResult:
     path = Path(path)
     if not path.exists():
         raise ExperimentError(f"no result document at {path}")
-    return result_from_dict(json.loads(path.read_text()))
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(
+            f"corrupt result document at {path}: {exc}"
+        ) from exc
+    return result_from_dict(payload)
 
 
 def load_results_dir(directory: Union[str, Path]) -> List[ExperimentResult]:

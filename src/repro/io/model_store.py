@@ -10,11 +10,18 @@ TS-PPR therefore needs its feature tables re-fitted — the manifest
 stores the feature configuration, and :func:`load_model` accepts the
 training split to rebuild them exactly (static features are pure
 functions of the training prefixes, so the round trip is bit-exact).
+
+Crash safety: both files are written atomically (temp + fsync +
+rename), arrays first and manifest last, and the manifest records the
+sha256 of ``arrays.npz`` — a crash mid-save can never leave a store
+that loads as a half-written model, and torn/corrupt stores fail with
+a clear :class:`~repro.exceptions.ModelError` at load time.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -31,9 +38,16 @@ from repro.models.pop import PopRecommender
 from repro.models.ppr import PPRRecommender
 from repro.models.tsppr import TSPPRRecommender
 from repro.novel.models import NovelTSPPRRecommender
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    sha256_bytes,
+    sha256_file,
+)
 
 #: Manifest schema version; bump on breaking layout changes.
-FORMAT_VERSION = 1
+#: v2 adds the ``arrays_sha256`` integrity checksum.
+FORMAT_VERSION = 2
 
 _SAVABLE = {
     "TSPPRRecommender": TSPPRRecommender,
@@ -107,8 +121,15 @@ def save_model(model: Recommender, directory: Union[str, Path]) -> Path:
     elif isinstance(model, PopRecommender):
         arrays["popularity"] = model._popularity  # noqa: SLF001 - own layout
 
-    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
-    np.savez(directory / "arrays.npz", **arrays)
+    # Arrays first, manifest (with the arrays' checksum) last: the
+    # manifest is the commit point, so a crash at any instant leaves
+    # either a complete store or one that load_model rejects cleanly.
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    payload = buffer.getvalue()
+    manifest["arrays_sha256"] = sha256_bytes(payload)
+    atomic_write_bytes(directory / "arrays.npz", payload)
+    atomic_write_json(directory / "manifest.json", manifest)
     return directory
 
 
@@ -130,7 +151,12 @@ def load_model(
     manifest_path = directory / "manifest.json"
     if not manifest_path.exists():
         raise ModelError(f"no manifest.json under {directory}")
-    manifest = json.loads(manifest_path.read_text())
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ModelError(
+            f"corrupt manifest.json under {directory}: {exc}"
+        ) from exc
     if manifest.get("format_version") != FORMAT_VERSION:
         raise ModelError(
             f"unsupported model format {manifest.get('format_version')!r}"
@@ -141,8 +167,19 @@ def load_model(
         raise ModelError(f"unknown model class {class_name!r} in manifest")
 
     window = WindowConfig(**manifest["window"])
-    with np.load(directory / "arrays.npz") as archive:
-        arrays = {key: archive[key] for key in archive.files}
+    arrays_path = directory / "arrays.npz"
+    if not arrays_path.exists():
+        raise ModelError(f"no arrays.npz under {directory}")
+    if sha256_file(arrays_path) != manifest.get("arrays_sha256"):
+        raise ModelError(
+            f"checksum mismatch on {arrays_path} — the store is torn "
+            f"or corrupted"
+        )
+    try:
+        with np.load(arrays_path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError) as exc:
+        raise ModelError(f"unreadable arrays.npz under {directory}: {exc}") from exc
 
     if issubclass(model_cls, TSPPRRecommender):
         if split is None:

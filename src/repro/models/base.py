@@ -12,7 +12,8 @@ are reproducible).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -20,6 +21,8 @@ from repro.config import WindowConfig
 from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
 from repro.exceptions import EvaluationError, NotFittedError
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.faults import FaultInjector
 
 
 class Recommender(ABC):
@@ -31,6 +34,8 @@ class Recommender(ABC):
     def __init__(self) -> None:
         self._fitted = False
         self._window_config: Optional[WindowConfig] = None
+        self._checkpoint_manager: Optional[CheckpointManager] = None
+        self._fault_injector: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -39,14 +44,38 @@ class Recommender(ABC):
         self,
         split: SplitDataset,
         window: Optional[WindowConfig] = None,
+        *,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> "Recommender":
         """Fit on the training prefixes of ``split``.
 
         Subclasses implement :meth:`_fit`; this wrapper records the
         window configuration and the fitted flag.
+
+        Parameters
+        ----------
+        checkpoint_dir:
+            When given, SGD-trained models snapshot their training
+            state here every ``checkpoint_every`` convergence checks
+            and transparently resume a partial run found in the
+            directory, producing bit-identical results to an
+            uninterrupted fit. Models without an SGD loop ignore it.
+        fault_injector:
+            Test hook killing training/persistence at scheduled points
+            (see :mod:`repro.resilience.faults`).
         """
         window = window or WindowConfig()
         self._window_config = window
+        self._fault_injector = fault_injector
+        self._checkpoint_manager = None
+        if checkpoint_dir is not None:
+            self._checkpoint_manager = CheckpointManager(
+                checkpoint_dir,
+                every_n_checks=checkpoint_every,
+                fault_injector=fault_injector,
+            )
         self._fit(split, window)
         self._fitted = True
         return self

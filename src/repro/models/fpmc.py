@@ -167,6 +167,21 @@ class FPMCRecommender(Recommender):
         def draw_index() -> int:
             return int(rng.integers(users.size))
 
+        def get_state() -> dict:
+            return {
+                "user_factors": UI,
+                "item_user_factors": IU,
+                "item_basket_factors": IL,
+                "basket_item_factors": LI,
+            }
+
+        def set_state(params: dict) -> None:
+            # In-place: the update closures alias all four matrices.
+            UI[...] = params["user_factors"]
+            IU[...] = params["item_user_factors"]
+            IL[...] = params["item_basket_factors"]
+            LI[...] = params["basket_item_factors"]
+
         check_interval = max(1, math.floor(users.size * config.batch_fraction))
         self.sgd_result_ = run_sgd(
             draw_index=draw_index,
@@ -175,6 +190,11 @@ class FPMCRecommender(Recommender):
             max_updates=config.max_epochs,
             check_interval=check_interval,
             tol=config.convergence_tol,
+            checkpoint=self._checkpoint_manager,
+            get_state=get_state,
+            set_state=set_state,
+            rng=rng,
+            fault_injector=self._fault_injector,
         )
 
     def score(

@@ -89,6 +89,14 @@ class PPRRecommender(Recommender):
             )
             return float(margins.mean())
 
+        def get_state() -> dict:
+            return {"user_factors": U, "item_factors": V}
+
+        def set_state(params: dict) -> None:
+            # In-place: apply_update/batch_margin close over U and V.
+            U[...] = params["user_factors"]
+            V[...] = params["item_factors"]
+
         check_interval = max(1, math.floor(len(quadruples) * config.batch_fraction))
         self.sgd_result_ = run_sgd(
             draw_index=schedule.draw,
@@ -97,6 +105,11 @@ class PPRRecommender(Recommender):
             max_updates=config.max_epochs,
             check_interval=check_interval,
             tol=config.convergence_tol,
+            checkpoint=self._checkpoint_manager,
+            get_state=get_state,
+            set_state=set_state,
+            rng=rng,
+            fault_injector=self._fault_injector,
         )
 
     def score(

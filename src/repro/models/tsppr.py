@@ -223,6 +223,23 @@ class TSPPRRecommender(Recommender):
                 margins = margins + np.einsum("nk,nk->n", u_rows, item_diff)
             return float(margins.mean())
 
+        def get_state() -> dict:
+            return {
+                "user_factors": U,
+                "item_factors": V,
+                "mappings": np.asarray(self.mappings_),
+            }
+
+        def set_state(params: dict) -> None:
+            # In-place writes keep the U/V aliases the update closures
+            # hold valid; the mapping is only ever read through self.
+            U[...] = params["user_factors"]
+            V[...] = params["item_factors"]
+            if self.config.share_mapping:
+                self.mappings_ = params["mappings"].copy()
+            else:
+                self.mappings_[...] = params["mappings"]  # type: ignore[index]
+
         check_interval = max(
             1, math.floor(len(quadruples) * config.batch_fraction)
         )
@@ -233,6 +250,11 @@ class TSPPRRecommender(Recommender):
             max_updates=config.max_epochs,
             check_interval=check_interval,
             tol=config.convergence_tol,
+            checkpoint=self._checkpoint_manager,
+            get_state=get_state,
+            set_state=set_state,
+            rng=rng,
+            fault_injector=self._fault_injector,
         )
 
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ The recorded history is exactly the curve plotted in Fig 12.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 
 class ConvergenceMonitor:
@@ -41,6 +41,11 @@ class ConvergenceMonitor:
         return list(self._history)
 
     @property
+    def streak(self) -> int:
+        """Consecutive sub-``tol`` checks so far (checkpointed on resume)."""
+        return self._streak
+
+    @property
     def last_margin(self) -> float:
         """Most recent ``r̃`` (raises if no check happened yet)."""
         if not self._history:
@@ -67,3 +72,17 @@ class ConvergenceMonitor:
         """Forget all recorded checks."""
         self._history.clear()
         self._streak = 0
+
+    def restore(
+        self, history: Iterable[Tuple[int, float]], streak: int = 0
+    ) -> None:
+        """Overwrite the monitor's state from a checkpoint snapshot.
+
+        Used by :func:`~repro.optim.sgd.run_sgd` when resuming, so the
+        continued run's ``Δr̃`` decisions (and the Fig 12 curve) are
+        bit-identical to an uninterrupted run.
+        """
+        if streak < 0:
+            raise ValueError(f"streak must be >= 0, got {streak}")
+        self._history = [(int(n), float(m)) for n, m in history]
+        self._streak = int(streak)

@@ -1,0 +1,48 @@
+"""Crash safety: atomic persistence, checkpoint/resume, fault injection.
+
+The paper's Algorithm 1 is a long-running SGD loop and the evidence
+runs chain a dozen trainings back-to-back; this subsystem makes both
+survive crashes:
+
+* :mod:`repro.resilience.atomic` — temp-file + fsync + rename writes
+  with sha256 checksums, used by every durable artifact.
+* :mod:`repro.resilience.checkpoint` — :class:`CheckpointManager`
+  snapshots of SGD state (parameters, RNG, counters, margin history)
+  enabling bit-identical resume via ``fit(checkpoint_dir=...)``.
+* :mod:`repro.resilience.journal` — :class:`RunJournal`, the
+  per-experiment status book behind ``repro-experiments run --resume``.
+* :mod:`repro.resilience.faults` — deterministic
+  :class:`FaultInjector` / :class:`CrashingFile` used by the tests to
+  prove the above under adversarial crash points.
+"""
+
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    sha256_bytes,
+    sha256_file,
+)
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    TrainingState,
+)
+from repro.resilience.faults import CrashingFile, FaultInjected, FaultInjector
+from repro.resilience.journal import JournalEntry, RunJournal
+
+__all__ = [
+    "CheckpointManager",
+    "CrashingFile",
+    "FaultInjected",
+    "FaultInjector",
+    "JournalEntry",
+    "RunJournal",
+    "TrainingState",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "atomic_writer",
+    "sha256_bytes",
+    "sha256_file",
+]

@@ -1,0 +1,126 @@
+"""Atomic file persistence primitives.
+
+Every durable artifact the library writes (model stores, experiment
+archives, training checkpoints, run journals) goes through the helpers
+here: the full payload is written to a temporary file *in the
+destination directory*, flushed and fsynced, then moved over the target
+with :func:`os.replace`. On POSIX the rename is atomic, so a reader —
+or a process restarting after a crash — observes either the complete
+old file or the complete new file, never a truncated mix of the two.
+
+The sha256 helpers let manifests bind to their payload files, so a
+payload that *was* torn (e.g. a crash between writing two files of a
+multi-file artifact, or plain bit rot) is detected at load time instead
+of silently producing wrong numbers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Any, Iterator, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex sha256 digest of an in-memory payload."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: PathLike, chunk_size: int = 1 << 20) -> str:
+    """Hex sha256 digest of a file, streamed in chunks."""
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_writer(path: PathLike, mode: str = "wb", **open_kwargs: Any) -> Iterator[IO]:
+    """Yield a temp-file handle that replaces ``path`` only on success.
+
+    The temporary file lives next to the target (same filesystem, so the
+    final :func:`os.replace` is atomic) and is deleted if the body
+    raises — the target is either untouched or fully replaced, and no
+    temp litter survives a failed write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    handle = os.fdopen(fd, mode, **open_kwargs)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(tmp_name, path)
+        _fsync_directory(path.parent)
+    except BaseException:
+        with contextlib.suppress(Exception):
+            handle.close()
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+def atomic_write_bytes(
+    path: PathLike, data: bytes, fault_injector: Optional[object] = None
+) -> Path:
+    """Atomically replace ``path`` with ``data``.
+
+    ``fault_injector`` (a :class:`~repro.resilience.faults.FaultInjector`)
+    is consulted before the write so crash-safety tests can simulate a
+    process dying mid-persistence; the target file is never touched when
+    the fault fires.
+    """
+    if fault_injector is not None:
+        fault_injector.on_write()  # type: ignore[attr-defined]
+    with atomic_writer(path) as handle:
+        handle.write(data)
+    return Path(path)
+
+
+def atomic_write_text(
+    path: PathLike,
+    text: str,
+    encoding: str = "utf-8",
+    fault_injector: Optional[object] = None,
+) -> Path:
+    """Atomically replace ``path`` with ``text``."""
+    return atomic_write_bytes(path, text.encode(encoding), fault_injector)
+
+
+def atomic_write_json(
+    path: PathLike,
+    payload: object,
+    indent: int = 2,
+    fault_injector: Optional[object] = None,
+) -> Path:
+    """Atomically replace ``path`` with ``payload`` rendered as JSON."""
+    text = json.dumps(payload, indent=indent) + "\n"
+    return atomic_write_text(path, text, fault_injector=fault_injector)

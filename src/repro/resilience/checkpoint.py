@@ -1,0 +1,245 @@
+"""Checkpoint/resume for long-running SGD training.
+
+A checkpoint captures everything :func:`~repro.optim.sgd.run_sgd` needs
+to continue a run *bit-identically*: the model's parameter arrays, the
+schedule RNG's bit-generator state, the update counter, and the
+convergence monitor's margin history and streak. Snapshots are taken at
+convergence-check boundaries (every ``every_n_checks`` checks), so a
+resumed run replays exactly the updates an uninterrupted run would have
+applied.
+
+Layout of a checkpoint directory::
+
+    <dir>/ckpt-00000003.npz    parameter arrays
+    <dir>/ckpt-00000003.json   manifest: counters, RNG state, margin
+                               history, sha256 of the npz payload
+
+Both files are written atomically (temp + fsync + rename), npz first
+and manifest last — the manifest is the commit point. A crash at any
+instant therefore leaves either a fully valid checkpoint pair or an
+unreferenced/torn artifact that :meth:`CheckpointManager.load_latest`
+detects via the checksum and skips, falling back to the newest valid
+snapshot (the last ``keep`` snapshots are retained for exactly this).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+from repro.logging_utils import get_logger
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    sha256_bytes,
+    sha256_file,
+)
+from repro.resilience.faults import FaultInjector
+
+logger = get_logger("resilience.checkpoint")
+
+#: Manifest schema version; bump on breaking layout changes.
+CHECKPOINT_VERSION = 1
+
+_PREFIX = "ckpt-"
+
+
+@dataclass
+class TrainingState:
+    """One resumable snapshot of an SGD run.
+
+    Attributes
+    ----------
+    n_updates:
+        Updates applied so far (a convergence-check boundary).
+    converged:
+        Whether the ``Δr̃`` criterion had already fired.
+    history:
+        The monitor's ``(n_updates, r̃)`` checks so far.
+    streak:
+        The monitor's consecutive sub-``tol`` streak.
+    params:
+        Named parameter arrays (model-defined layout).
+    rng_state:
+        ``numpy`` bit-generator state of the schedule RNG, or ``None``
+        when the caller manages randomness itself.
+    """
+
+    n_updates: int
+    converged: bool
+    history: List[Tuple[int, float]]
+    streak: int
+    params: Dict[str, np.ndarray] = field(default_factory=dict)
+    rng_state: Optional[dict] = None
+
+
+class CheckpointManager:
+    """Writes and recovers :class:`TrainingState` snapshots.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint pairs live (created if needed).
+    every_n_checks:
+        Snapshot cadence in convergence checks: the first check is
+        always persisted, then every ``every_n_checks``-th after it.
+    keep:
+        How many most-recent snapshots to retain; older pairs are
+        pruned after each successful save.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` whose
+        write trigger is consulted before each file write, so tests can
+        crash persistence at an arbitrary point.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        every_n_checks: int = 1,
+        keep: int = 3,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> None:
+        if every_n_checks < 1:
+            raise ValueError(
+                f"every_n_checks must be >= 1, got {every_n_checks}"
+            )
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.every_n_checks = every_n_checks
+        self.keep = keep
+        self.fault_injector = fault_injector
+        self._checks_seen = 0
+        self._next_sequence = 1 + max(
+            self._sequence_numbers(), default=0
+        )
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+    def maybe_save(
+        self, make_state: Callable[[], TrainingState]
+    ) -> Optional[Path]:
+        """Save if the cadence says so; returns the manifest path or None.
+
+        Takes a zero-argument *factory* instead of a ready snapshot so
+        skipped checks cost nothing — building the state (copying the
+        margin history, serializing the RNG) only happens on the checks
+        that actually persist. This is what keeps the checkpointing
+        overhead of a dense convergence-check schedule negligible.
+        """
+        self._checks_seen += 1
+        if (self._checks_seen - 1) % self.every_n_checks != 0:
+            return None
+        return self.save(make_state())
+
+    def save(self, state: TrainingState) -> Path:
+        """Persist one snapshot unconditionally (npz first, manifest last)."""
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        buffer = io.BytesIO()
+        np.savez(buffer, **state.params)
+        payload = buffer.getvalue()
+        npz_path = self.directory / f"{_PREFIX}{sequence:08d}.npz"
+        manifest_path = self.directory / f"{_PREFIX}{sequence:08d}.json"
+        atomic_write_bytes(npz_path, payload, fault_injector=self.fault_injector)
+        manifest = {
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "sequence": sequence,
+            "n_updates": int(state.n_updates),
+            "converged": bool(state.converged),
+            "history": [[int(n), float(m)] for n, m in state.history],
+            "streak": int(state.streak),
+            "rng_state": state.rng_state,
+            "arrays_sha256": sha256_bytes(payload),
+            "param_keys": sorted(state.params),
+        }
+        atomic_write_json(
+            manifest_path, manifest, fault_injector=self.fault_injector
+        )
+        self._prune()
+        return manifest_path
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_latest(self) -> Optional[TrainingState]:
+        """Newest snapshot that passes validation, or ``None``.
+
+        Torn or corrupt snapshots (manifest that does not parse, missing
+        npz, checksum mismatch) are logged and skipped, falling back to
+        the next-newest — the recovery path for a crash mid-save.
+        """
+        for sequence in sorted(self._sequence_numbers(), reverse=True):
+            manifest_path = self.directory / f"{_PREFIX}{sequence:08d}.json"
+            try:
+                return self._load_one(manifest_path)
+            except CheckpointError as exc:
+                logger.warning(
+                    "skipping unusable checkpoint %s: %s", manifest_path, exc
+                )
+        return None
+
+    def _load_one(self, manifest_path: Path) -> TrainingState:
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable manifest: {exc}") from exc
+        if manifest.get("checkpoint_version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version "
+                f"{manifest.get('checkpoint_version')!r}"
+            )
+        npz_path = manifest_path.with_suffix(".npz")
+        if not npz_path.exists():
+            raise CheckpointError(f"missing parameter file {npz_path.name}")
+        if sha256_file(npz_path) != manifest.get("arrays_sha256"):
+            raise CheckpointError(
+                f"checksum mismatch on {npz_path.name} (torn write?)"
+            )
+        try:
+            with np.load(npz_path) as archive:
+                params = {key: archive[key] for key in archive.files}
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"unreadable {npz_path.name}: {exc}") from exc
+        try:
+            return TrainingState(
+                n_updates=int(manifest["n_updates"]),
+                converged=bool(manifest["converged"]),
+                history=[
+                    (int(n), float(m)) for n, m in manifest["history"]
+                ],
+                streak=int(manifest["streak"]),
+                params=params,
+                rng_state=manifest.get("rng_state"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed manifest: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def _sequence_numbers(self) -> Sequence[int]:
+        numbers = []
+        for path in self.directory.glob(f"{_PREFIX}*.json"):
+            stem = path.stem[len(_PREFIX):]
+            if stem.isdigit():
+                numbers.append(int(stem))
+        return numbers
+
+    def _prune(self) -> None:
+        sequences = sorted(self._sequence_numbers())
+        for sequence in sequences[: -self.keep]:
+            for suffix in (".json", ".npz"):
+                stale = self.directory / f"{_PREFIX}{sequence:08d}{suffix}"
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass

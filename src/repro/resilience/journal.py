@@ -1,0 +1,161 @@
+"""Per-experiment run journal for resumable evidence runs.
+
+``repro-experiments run all`` chains a dozen trainings back-to-back; a
+crash in experiment nine used to force rerunning the first eight. The
+journal records each experiment's lifecycle status —
+
+    pending -> running -> done | failed
+
+— in one JSON document that is rewritten atomically on every
+transition, so no crash point can corrupt it. ``--resume`` then skips
+``done`` entries and reruns the rest; ``failed`` entries carry the last
+error message and an attempt counter, feeding the CLI's retry loop and
+its exit code (nonzero iff anything remains failed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ExperimentError
+from repro.resilience.atomic import atomic_write_json
+
+#: Journal schema version; bump on breaking layout changes.
+JOURNAL_VERSION = 1
+
+#: Valid lifecycle states, in progression order.
+STATUSES = ("pending", "running", "done", "failed")
+
+
+@dataclass
+class JournalEntry:
+    """Lifecycle record of one experiment."""
+
+    status: str = "pending"
+    attempts: int = 0
+    error: Optional[str] = None
+
+
+class RunJournal:
+    """Atomic, crash-safe status book for an experiment run.
+
+    Every :meth:`mark` persists the whole document via the atomic-write
+    layer, so readers (including a restarted CLI) always see a
+    consistent journal.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, JournalEntry] = {}
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunJournal":
+        """Read a journal, or start an empty one if the file is absent.
+
+        Raises
+        ------
+        ExperimentError
+            If the file exists but is truncated, not JSON, has an
+            unsupported version, or contains an unknown status.
+        """
+        journal = cls(path)
+        if not journal.path.exists():
+            return journal
+        try:
+            payload = json.loads(journal.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ExperimentError(
+                f"corrupt run journal at {journal.path}: {exc}"
+            ) from exc
+        if payload.get("journal_version") != JOURNAL_VERSION:
+            raise ExperimentError(
+                f"unsupported journal version "
+                f"{payload.get('journal_version')!r} in {journal.path}"
+            )
+        for experiment_id, entry in payload.get("experiments", {}).items():
+            status = entry.get("status", "pending")
+            if status not in STATUSES:
+                raise ExperimentError(
+                    f"unknown status {status!r} for {experiment_id!r} "
+                    f"in {journal.path}"
+                )
+            journal._entries[experiment_id] = JournalEntry(
+                status=status,
+                attempts=int(entry.get("attempts", 0)),
+                error=entry.get("error"),
+            )
+        return journal
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def mark(
+        self,
+        experiment_id: str,
+        status: str,
+        error: Optional[str] = None,
+    ) -> JournalEntry:
+        """Set an experiment's status and persist the journal atomically.
+
+        Marking ``running`` increments the attempt counter; marking
+        anything but ``failed`` clears any recorded error.
+        """
+        if status not in STATUSES:
+            raise ExperimentError(
+                f"unknown journal status {status!r}; valid: {STATUSES}"
+            )
+        entry = self._entries.setdefault(experiment_id, JournalEntry())
+        if status == "running":
+            entry.attempts += 1
+        entry.status = status
+        entry.error = error if status == "failed" else None
+        self.save()
+        return entry
+
+    def save(self) -> Path:
+        """Atomically rewrite the journal document."""
+        payload = {
+            "journal_version": JOURNAL_VERSION,
+            "experiments": {
+                experiment_id: {
+                    "status": entry.status,
+                    "attempts": entry.attempts,
+                    "error": entry.error,
+                }
+                for experiment_id, entry in sorted(self._entries.items())
+            },
+        }
+        return atomic_write_json(self.path, payload)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def status_of(self, experiment_id: str) -> str:
+        """Current status (``"pending"`` for never-seen experiments)."""
+        entry = self._entries.get(experiment_id)
+        return entry.status if entry is not None else "pending"
+
+    def entry(self, experiment_id: str) -> JournalEntry:
+        """The full record for one experiment (default-pending)."""
+        return self._entries.get(experiment_id, JournalEntry())
+
+    def counts(self) -> Dict[str, int]:
+        """``status -> count`` over all recorded experiments."""
+        totals = {status: 0 for status in STATUSES}
+        for entry in self._entries.values():
+            totals[entry.status] += 1
+        return totals
+
+    def failed_ids(self) -> List[str]:
+        """Sorted ids whose latest status is ``failed``."""
+        return sorted(
+            experiment_id
+            for experiment_id, entry in self._entries.items()
+            if entry.status == "failed"
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

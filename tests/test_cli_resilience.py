@@ -1,0 +1,134 @@
+"""Tests for the CLI's journal/resume/retry machinery.
+
+A fake experiment is patched into the registry so the lifecycle can be
+driven without training anything.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry
+from repro.resilience.journal import RunJournal
+
+
+class _FlakyRunner:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, scale):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"injected failure #{self.calls}")
+        return registry.ExperimentResult(
+            experiment_id="figtest", title="Fake experiment"
+        )
+
+
+@pytest.fixture()
+def fake_experiment(monkeypatch):
+    runner = _FlakyRunner(failures=0)
+    monkeypatch.setitem(registry._RUNNERS, "figtest", ("Fake experiment", runner))
+    return runner
+
+
+class TestJournalRun:
+    def test_success_records_done(self, fake_experiment, tmp_path, capsys):
+        journal_path = tmp_path / "j.json"
+        code = main(
+            ["run", "figtest", "--scale", "smoke", "--journal", str(journal_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "journal: 1 done, 0 failed, 0 skipped" in out
+        payload = json.loads(journal_path.read_text())
+        assert payload["experiments"]["figtest"]["status"] == "done"
+        assert payload["experiments"]["figtest"]["attempts"] == 1
+
+    def test_failure_exits_nonzero_and_records_error(
+        self, fake_experiment, tmp_path, capsys
+    ):
+        fake_experiment.failures = 99
+        journal_path = tmp_path / "j.json"
+        code = main(
+            ["run", "figtest", "--scale", "smoke", "--journal", str(journal_path)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "journal: 0 done, 1 failed, 0 skipped" in captured.out
+        assert "injected failure" in captured.err
+        entry = RunJournal.load(journal_path).entry("figtest")
+        assert entry.status == "failed"
+        assert entry.attempts == 1
+        assert "RuntimeError" in entry.error
+
+    def test_retry_recovers_flaky_experiment(
+        self, fake_experiment, tmp_path, capsys
+    ):
+        fake_experiment.failures = 1
+        journal_path = tmp_path / "j.json"
+        code = main(
+            [
+                "run", "figtest", "--scale", "smoke",
+                "--journal", str(journal_path), "--retries", "1",
+            ]
+        )
+        assert code == 0
+        assert fake_experiment.calls == 2
+        entry = RunJournal.load(journal_path).entry("figtest")
+        assert entry.status == "done"
+        assert entry.attempts == 2
+        assert entry.error is None
+
+    def test_resume_skips_done(self, fake_experiment, tmp_path, capsys):
+        journal_path = tmp_path / "j.json"
+        RunJournal(journal_path).mark("figtest", "done")
+        code = main(
+            [
+                "run", "figtest", "--scale", "smoke",
+                "--journal", str(journal_path), "--resume",
+            ]
+        )
+        assert code == 0
+        assert fake_experiment.calls == 0, "done experiment must not rerun"
+        assert "1 skipped" in capsys.readouterr().out
+
+    def test_resume_reruns_failed(self, fake_experiment, tmp_path):
+        journal_path = tmp_path / "j.json"
+        journal = RunJournal(journal_path)
+        journal.mark("figtest", "running")
+        journal.mark("figtest", "failed", error="earlier crash")
+        code = main(
+            [
+                "run", "figtest", "--scale", "smoke",
+                "--journal", str(journal_path), "--resume",
+            ]
+        )
+        assert code == 0
+        assert fake_experiment.calls == 1
+        entry = RunJournal.load(journal_path).entry("figtest")
+        assert entry.status == "done"
+        assert entry.attempts == 2  # one from the earlier run, one now
+
+
+class TestFlagValidation:
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figtest", "--resume"])
+
+    def test_retries_require_journal(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figtest", "--retries", "2"])
+
+    def test_negative_retries_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run", "figtest", "--retries", "-1",
+                    "--journal", str(tmp_path / "j.json"),
+                ]
+            )

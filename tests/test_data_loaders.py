@@ -119,3 +119,67 @@ class TestRoundTrip:
                 for i in tiny_dataset.sequence(old_user)
             ]
             assert new_items == old_items
+
+
+class TestOnErrorSkip:
+    def _mostly_good_log(self, tmp_path, n_good, n_bad):
+        lines = [f"u{i}\ti{i}\t{float(i)}" for i in range(n_good)]
+        bad_lines = ["u\ti\tnot-a-number" for _ in range(n_bad)]
+        # Bad rows first so their line numbers are predictable.
+        path = tmp_path / "log.tsv"
+        path.write_text("\n".join(bad_lines + lines) + "\n")
+        return path
+
+    def test_skip_quarantines_with_line_numbers(self, tmp_path):
+        from repro.data.loaders import LoaderReport
+
+        path = self._mostly_good_log(tmp_path, n_good=40, n_bad=1)
+        report = LoaderReport()
+        events = list(read_events(path, on_error="skip", report=report))
+        assert len(events) == 40
+        assert report.n_rows == 41
+        assert report.n_skipped == 1
+        assert report.skipped[0].line_number == 1
+        assert "not-a-number" in report.skipped[0].reason
+        assert "line 1" in report.render()
+
+    def test_exactly_at_budget_passes(self, tmp_path):
+        # 1 bad of 20 rows = 5% — exactly the default budget.
+        path = self._mostly_good_log(tmp_path, n_good=19, n_bad=1)
+        events = list(read_events(path, on_error="skip", error_budget=0.05))
+        assert len(events) == 19
+
+    def test_one_over_budget_raises(self, tmp_path):
+        # 2 bad of 21 rows > 5%.
+        path = self._mostly_good_log(tmp_path, n_good=19, n_bad=2)
+        with pytest.raises(DataError, match="error budget"):
+            list(read_events(path, on_error="skip", error_budget=0.05))
+
+    def test_budget_error_names_first_bad_row(self, tmp_path):
+        path = self._mostly_good_log(tmp_path, n_good=1, n_bad=9)
+        with pytest.raises(DataError, match="line 1"):
+            list(read_events(path, on_error="skip"))
+
+    def test_default_still_raises_on_first_bad_row(self, tmp_path):
+        path = self._mostly_good_log(tmp_path, n_good=40, n_bad=1)
+        with pytest.raises(DataError, match=":1:"):
+            list(read_events(path))
+
+    def test_invalid_on_error_rejected(self, tmp_path):
+        path = self._mostly_good_log(tmp_path, n_good=1, n_bad=0)
+        with pytest.raises(ValueError, match="on_error"):
+            list(read_events(path, on_error="ignore"))
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        path = self._mostly_good_log(tmp_path, n_good=1, n_bad=0)
+        with pytest.raises(ValueError, match="error_budget"):
+            list(read_events(path, on_error="skip", error_budget=1.5))
+
+    def test_load_event_log_forwards_policy(self, tmp_path):
+        from repro.data.loaders import LoaderReport
+
+        path = self._mostly_good_log(tmp_path, n_good=40, n_bad=1)
+        report = LoaderReport()
+        dataset = load_event_log(path, on_error="skip", report=report)
+        assert dataset.n_users == 40
+        assert report.n_skipped == 1

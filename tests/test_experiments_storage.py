@@ -81,3 +81,30 @@ class TestCliIntegration:
         ]) == 0
         loaded = load_result(json_dir / "table4.json")
         assert loaded.experiment_id == "table4"
+
+
+class TestCorruptionDetection:
+    def test_truncated_json(self, result, tmp_path):
+        path = save_result(result, tmp_path)
+        path.write_text(path.read_text()[:25])
+        with pytest.raises(ExperimentError, match="corrupt result"):
+            load_result(path)
+
+    def test_checksum_detects_tampering(self, result, tmp_path):
+        path = save_result(result, tmp_path)
+        payload = json.loads(path.read_text())
+        payload["title"] = "tampered"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ExperimentError, match="checksum"):
+            load_result(path)
+
+    def test_checksum_optional_for_legacy_documents(self, result):
+        payload = result_to_dict(result)
+        payload.pop("checksum")
+        rebuilt = result_from_dict(payload)
+        assert rebuilt.title == result.title
+
+    def test_save_leaves_no_temp_files(self, result, tmp_path):
+        save_result(result, tmp_path)
+        litter = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert litter == []

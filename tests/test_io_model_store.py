@@ -115,3 +115,40 @@ class TestErrors:
         (directory / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(ModelError, match="unknown model class"):
             load_model(directory)
+
+
+class TestCorruptionDetection:
+    def _saved_pop(self, gowalla_split, tmp_path):
+        model = PopRecommender().fit(gowalla_split)
+        return save_model(model, tmp_path / "pop")
+
+    def test_corrupt_arrays_detected_by_checksum(self, gowalla_split, tmp_path):
+        directory = self._saved_pop(gowalla_split, tmp_path)
+        npz = directory / "arrays.npz"
+        npz.write_bytes(npz.read_bytes()[:-1] + b"X")
+        with pytest.raises(ModelError, match="checksum"):
+            load_model(directory)
+
+    def test_truncated_arrays_detected(self, gowalla_split, tmp_path):
+        directory = self._saved_pop(gowalla_split, tmp_path)
+        npz = directory / "arrays.npz"
+        npz.write_bytes(npz.read_bytes()[:-40])
+        with pytest.raises(ModelError, match="checksum"):
+            load_model(directory)
+
+    def test_corrupt_manifest_json(self, gowalla_split, tmp_path):
+        directory = self._saved_pop(gowalla_split, tmp_path)
+        (directory / "manifest.json").write_text('{"format_version": 2, ')
+        with pytest.raises(ModelError, match="corrupt manifest"):
+            load_model(directory)
+
+    def test_missing_arrays_file(self, gowalla_split, tmp_path):
+        directory = self._saved_pop(gowalla_split, tmp_path)
+        (directory / "arrays.npz").unlink()
+        with pytest.raises(ModelError, match="arrays"):
+            load_model(directory)
+
+    def test_save_leaves_no_temp_files(self, gowalla_split, tmp_path):
+        directory = self._saved_pop(gowalla_split, tmp_path)
+        litter = [p for p in directory.iterdir() if p.suffix == ".tmp"]
+        assert litter == []

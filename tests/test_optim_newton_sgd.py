@@ -172,3 +172,31 @@ class TestRunSGD:
             run_sgd(lambda: 0, lambda i: None, lambda: 0.0, 0, 1)
         with pytest.raises(ValueError):
             run_sgd(lambda: 0, lambda i: None, lambda: 0.0, 10, 0)
+
+    def test_budget_smaller_than_check_interval(self):
+        """Regression: max_updates < check_interval must still record a
+        final check and produce a usable final_margin."""
+        counter = {"n": 0}
+
+        def update(_index):
+            counter["n"] += 1
+
+        result = run_sgd(
+            draw_index=lambda: 0,
+            apply_update=update,
+            batch_margin=lambda: float(counter["n"]),
+            max_updates=3,
+            check_interval=100,
+            tol=1e-9,
+        )
+        assert counter["n"] == 3
+        assert result.n_updates == 3
+        assert result.margin_history == ((0, 0.0), (3, 3.0))
+        assert result.final_margin == 3.0
+
+    def test_final_margin_empty_history_raises(self):
+        from repro.optim.sgd import SGDResult
+
+        hand_built = SGDResult(n_updates=0, converged=False, margin_history=())
+        with pytest.raises(ValueError, match="no convergence checks"):
+            hand_built.final_margin

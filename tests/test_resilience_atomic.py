@@ -1,0 +1,174 @@
+"""Tests for repro.resilience.atomic and repro.resilience.faults."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    sha256_bytes,
+    sha256_file,
+)
+from repro.resilience.faults import CrashingFile, FaultInjected, FaultInjector
+
+
+def _no_temp_litter(directory):
+    return [p.name for p in directory.iterdir() if p.name.endswith(".tmp")] == []
+
+
+class TestAtomicWrites:
+    def test_write_text_creates_file_and_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "out.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+        assert _no_temp_litter(target.parent)
+
+    def test_write_replaces_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_write_json_round_trip(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"a": [1, 2], "b": "x"})
+        assert json.loads(target.read_text()) == {"a": [1, 2], "b": "x"}
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "committed")
+        injector = FaultInjector(crash_on_write=1)
+        with pytest.raises(FaultInjected):
+            atomic_write_text(target, "torn", fault_injector=injector)
+        assert target.read_text() == "committed"
+        assert _no_temp_litter(tmp_path)
+
+    def test_exception_in_writer_body_cleans_up(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write(b"partial")
+                raise RuntimeError("boom")
+        assert not target.exists()
+        assert _no_temp_litter(tmp_path)
+
+    def test_torn_write_never_replaces_target(self, tmp_path):
+        """A mid-payload crash (CrashingFile) leaves the old file whole."""
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"0123456789")
+        with pytest.raises(FaultInjected):
+            with atomic_writer(target) as handle:
+                torn = CrashingFile(handle, crash_after_bytes=4)
+                torn.write(b"ABCDEFGHIJ")
+        assert target.read_bytes() == b"0123456789"
+        assert _no_temp_litter(tmp_path)
+
+
+class TestChecksums:
+    def test_bytes_and_file_agree(self, tmp_path):
+        payload = b"some payload"
+        path = tmp_path / "f.bin"
+        path.write_bytes(payload)
+        assert sha256_bytes(payload) == sha256_file(path)
+
+    def test_different_payloads_differ(self):
+        assert sha256_bytes(b"a") != sha256_bytes(b"b")
+
+
+class TestFaultInjector:
+    def test_crash_at_exact_update(self):
+        injector = FaultInjector(crash_at_update=3)
+        injector.on_update()
+        injector.on_update()
+        with pytest.raises(FaultInjected, match="update 3"):
+            injector.on_update()
+        assert injector.updates_seen == 3
+
+    def test_crash_on_exact_write(self):
+        injector = FaultInjector(crash_on_write=2)
+        injector.on_write()
+        with pytest.raises(FaultInjected, match="write 2"):
+            injector.on_write()
+
+    def test_fires_once_until_reset(self):
+        injector = FaultInjector(crash_at_update=1)
+        with pytest.raises(FaultInjected):
+            injector.on_update()
+        injector.on_update()  # counter moved past the trigger
+        injector.reset()
+        with pytest.raises(FaultInjected):
+            injector.on_update()
+
+    def test_disarm(self):
+        injector = FaultInjector(crash_at_update=1, crash_on_write=1)
+        injector.disarm()
+        injector.on_update()
+        injector.on_write()
+
+    def test_from_seed_deterministic(self):
+        a = FaultInjector.from_seed(7, max_update=100, max_write=10)
+        b = FaultInjector.from_seed(7, max_update=100, max_write=10)
+        assert a.crash_at_update == b.crash_at_update
+        assert a.crash_on_write == b.crash_on_write
+        assert 1 <= a.crash_at_update <= 100
+        assert 1 <= a.crash_on_write <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(crash_at_update=0)
+        with pytest.raises(ValueError):
+            FaultInjector(crash_on_write=-1)
+        with pytest.raises(ValueError):
+            CrashingFile(handle=None, crash_after_bytes=-1)
+
+    def test_not_a_repro_error(self):
+        from repro.exceptions import ReproError
+
+        assert not issubclass(FaultInjected, ReproError)
+
+
+class TestCrashingFile:
+    def test_partial_bytes_reach_handle(self, tmp_path):
+        path = tmp_path / "torn.bin"
+        with open(path, "wb") as handle:
+            torn = CrashingFile(handle, crash_after_bytes=4)
+            with pytest.raises(FaultInjected):
+                torn.write(b"ABCDEFGH")
+        assert path.read_bytes() == b"ABCD"
+
+    def test_within_budget_passes_through(self, tmp_path):
+        path = tmp_path / "ok.bin"
+        with open(path, "wb") as handle:
+            torn = CrashingFile(handle, crash_after_bytes=100)
+            assert torn.write(b"ABCD") == 4
+            torn.flush()
+        assert path.read_bytes() == b"ABCD"
+
+
+class TestAtomicityUnderRepeatedFaults:
+    def test_every_write_crash_point_recovers(self, tmp_path):
+        """Whatever write the crash hits, the committed file stays valid."""
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"generation": 0})
+        for write_number in range(1, 4):
+            injector = FaultInjector(crash_on_write=write_number)
+            generation = None
+            for attempt in range(1, 4):
+                try:
+                    atomic_write_json(
+                        target,
+                        {"generation": attempt},
+                        fault_injector=injector,
+                    )
+                    generation = attempt
+                except FaultInjected:
+                    continue
+            payload = json.loads(target.read_text())
+            # The surviving document is always one that a successful
+            # write produced, never a torn mix.
+            assert payload["generation"] in (0, generation)
+            assert _no_temp_litter(tmp_path)

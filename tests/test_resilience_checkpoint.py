@@ -1,0 +1,148 @@
+"""Tests for repro.resilience.checkpoint — snapshot, recovery, pruning."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointManager,
+    TrainingState,
+)
+
+
+def _state(n_updates=100, value=1.0, with_rng=True):
+    rng_state = None
+    if with_rng:
+        rng_state = np.random.default_rng(5).bit_generator.state
+    return TrainingState(
+        n_updates=n_updates,
+        converged=False,
+        history=[(0, 0.1), (n_updates, 0.5)],
+        streak=1,
+        params={
+            "user_factors": np.full((3, 2), value),
+            "item_factors": np.arange(4.0),
+        },
+        rng_state=rng_state,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_state(n_updates=123, value=2.5))
+        loaded = CheckpointManager(tmp_path).load_latest()
+        assert loaded is not None
+        assert loaded.n_updates == 123
+        assert loaded.converged is False
+        assert loaded.history == [(0, 0.1), (123, 0.5)]
+        assert loaded.streak == 1
+        assert np.array_equal(
+            loaded.params["user_factors"], np.full((3, 2), 2.5)
+        )
+        assert np.array_equal(loaded.params["item_factors"], np.arange(4.0))
+
+    def test_rng_state_round_trips_exactly(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        rng = np.random.default_rng(42)
+        rng.integers(1000, size=17)  # advance the stream
+        state = _state()
+        state.rng_state = rng.bit_generator.state
+        manager.save(state)
+        loaded = CheckpointManager(tmp_path).load_latest()
+        restored = np.random.default_rng(0)
+        restored.bit_generator.state = loaded.rng_state
+        assert np.array_equal(
+            restored.integers(1000, size=50), rng.integers(1000, size=50)
+        )
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None
+
+    def test_latest_snapshot_wins(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_state(n_updates=10))
+        manager.save(_state(n_updates=20))
+        assert CheckpointManager(tmp_path).load_latest().n_updates == 20
+
+
+class TestCadenceAndPruning:
+    def test_maybe_save_cadence(self, tmp_path):
+        manager = CheckpointManager(tmp_path, every_n_checks=3, keep=100)
+        saved = [
+            manager.maybe_save(lambda: _state(n)) is not None for n in range(7)
+        ]
+        # Check 1 always saves, then every third after it.
+        assert saved == [True, False, False, True, False, False, True]
+
+    def test_prune_keeps_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for n_updates in (10, 20, 30, 40):
+            manager.save(_state(n_updates=n_updates))
+        manifests = sorted(tmp_path.glob("ckpt-*.json"))
+        assert len(manifests) == 2
+        assert len(list(tmp_path.glob("ckpt-*.npz"))) == 2
+        assert CheckpointManager(tmp_path).load_latest().n_updates == 40
+
+    def test_sequence_continues_across_managers(self, tmp_path):
+        CheckpointManager(tmp_path).save(_state(n_updates=10))
+        CheckpointManager(tmp_path).save(_state(n_updates=20))
+        names = sorted(p.name for p in tmp_path.glob("ckpt-*.json"))
+        assert names == ["ckpt-00000001.json", "ckpt-00000002.json"]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, every_n_checks=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+
+
+class TestCorruptionRecovery:
+    def _two_snapshots(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(_state(n_updates=10))
+        manager.save(_state(n_updates=20))
+        manifests = sorted(tmp_path.glob("ckpt-*.json"))
+        return manifests[-1]
+
+    def test_torn_npz_falls_back(self, tmp_path):
+        newest_manifest = self._two_snapshots(tmp_path)
+        npz = newest_manifest.with_suffix(".npz")
+        npz.write_bytes(npz.read_bytes()[:-20])  # truncate: torn write
+        loaded = CheckpointManager(tmp_path).load_latest()
+        assert loaded is not None
+        assert loaded.n_updates == 10
+
+    def test_garbage_manifest_falls_back(self, tmp_path):
+        newest_manifest = self._two_snapshots(tmp_path)
+        newest_manifest.write_text("{ not json")
+        assert CheckpointManager(tmp_path).load_latest().n_updates == 10
+
+    def test_missing_npz_falls_back(self, tmp_path):
+        newest_manifest = self._two_snapshots(tmp_path)
+        newest_manifest.with_suffix(".npz").unlink()
+        assert CheckpointManager(tmp_path).load_latest().n_updates == 10
+
+    def test_version_mismatch_falls_back(self, tmp_path):
+        newest_manifest = self._two_snapshots(tmp_path)
+        manifest = json.loads(newest_manifest.read_text())
+        manifest["checkpoint_version"] = CHECKPOINT_VERSION + 1
+        newest_manifest.write_text(json.dumps(manifest))
+        assert CheckpointManager(tmp_path).load_latest().n_updates == 10
+
+    def test_all_corrupt_loads_none(self, tmp_path):
+        CheckpointManager(tmp_path).save(_state(n_updates=10))
+        for manifest in tmp_path.glob("ckpt-*.json"):
+            manifest.write_text("garbage")
+        assert CheckpointManager(tmp_path).load_latest() is None
+
+    def test_load_one_reports_checksum_mismatch(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manifest_path = manager.save(_state())
+        npz = manifest_path.with_suffix(".npz")
+        npz.write_bytes(npz.read_bytes()[:-1] + b"X")
+        with pytest.raises(CheckpointError, match="checksum"):
+            manager._load_one(manifest_path)  # noqa: SLF001 - targeted check

@@ -1,0 +1,96 @@
+"""Tests for repro.resilience.journal — the experiment run journal."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.resilience.journal import JOURNAL_VERSION, RunJournal
+
+
+class TestLifecycle:
+    def test_unknown_experiment_is_pending(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.json")
+        assert journal.status_of("fig5") == "pending"
+
+    def test_mark_persists_atomically(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = RunJournal(path)
+        journal.mark("fig5", "running")
+        payload = json.loads(path.read_text())
+        assert payload["journal_version"] == JOURNAL_VERSION
+        assert payload["experiments"]["fig5"]["status"] == "running"
+
+    def test_running_counts_attempts(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.json")
+        journal.mark("fig5", "running")
+        journal.mark("fig5", "failed", error="boom")
+        journal.mark("fig5", "running")
+        journal.mark("fig5", "done")
+        entry = journal.entry("fig5")
+        assert entry.attempts == 2
+        assert entry.status == "done"
+        assert entry.error is None  # cleared on success
+
+    def test_failed_keeps_error(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.json")
+        journal.mark("fig5", "running")
+        journal.mark("fig5", "failed", error="ValueError: nope")
+        assert journal.entry("fig5").error == "ValueError: nope"
+        assert journal.failed_ids() == ["fig5"]
+
+    def test_counts(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.json")
+        journal.mark("a", "done")
+        journal.mark("b", "done")
+        journal.mark("c", "failed", error="x")
+        counts = journal.counts()
+        assert counts["done"] == 2
+        assert counts["failed"] == 1
+        assert counts["pending"] == 0
+        assert len(journal) == 3
+
+    def test_invalid_status_rejected(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.json")
+        with pytest.raises(ExperimentError, match="unknown journal status"):
+            journal.mark("fig5", "exploded")
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = RunJournal(path)
+        journal.mark("fig5", "done")
+        journal.mark("fig6", "running")
+        journal.mark("fig6", "failed", error="boom")
+        reloaded = RunJournal.load(path)
+        assert reloaded.status_of("fig5") == "done"
+        assert reloaded.entry("fig6").status == "failed"
+        assert reloaded.entry("fig6").attempts == 1
+        assert reloaded.entry("fig6").error == "boom"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = RunJournal.load(tmp_path / "absent.json")
+        assert len(journal) == 0
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "j.json"
+        RunJournal(path).mark("fig5", "done")
+        path.write_text(path.read_text()[:10])
+        with pytest.raises(ExperimentError, match="corrupt run journal"):
+            RunJournal.load(path)
+
+    def test_bad_version_raises(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text(json.dumps({"journal_version": 99, "experiments": {}}))
+        with pytest.raises(ExperimentError, match="journal version"):
+            RunJournal.load(path)
+
+    def test_unknown_status_on_disk_raises(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text(json.dumps({
+            "journal_version": JOURNAL_VERSION,
+            "experiments": {"fig5": {"status": "weird", "attempts": 1}},
+        }))
+        with pytest.raises(ExperimentError, match="unknown status"):
+            RunJournal.load(path)
