@@ -103,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="base seconds to sleep between retries (doubles per attempt)",
     )
     run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "evaluation worker processes (default: 1); accuracy results "
+            "are bit-identical at any worker count"
+        ),
+    )
+    run_parser.add_argument(
         "--verbose", action="store_true", help="log progress to stderr"
     )
     return parser
@@ -149,6 +158,7 @@ def _run(
     resume: bool = False,
     retries: int = 0,
     retry_backoff: float = 0.0,
+    workers: int = 1,
 ) -> Tuple[str, int]:
     """Run experiments; returns (rendered text, skipped count).
 
@@ -156,9 +166,13 @@ def _run(
     failure propagates. With one, failures are recorded/retried and the
     remaining experiments still run.
     """
+    import dataclasses
+
     from repro.experiments.storage import save_result
 
     scale = scale_by_name(scale_name)
+    if workers != 1:
+        scale = dataclasses.replace(scale, workers=workers)
     blocks: List[str] = []
     n_skipped = 0
     for experiment_id in experiment_ids:
@@ -204,6 +218,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--retries requires --journal")
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
     if args.verbose:
         enable_console_logging()
@@ -222,6 +238,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         resume=args.resume,
         retries=args.retries,
         retry_backoff=args.retry_backoff,
+        workers=args.workers,
     )
     print(text)
     if journal is not None:

@@ -1,0 +1,191 @@
+"""Vectorized behavioural-feature construction from session state.
+
+:meth:`BehavioralFeatureModel.matrix` fills the feature matrix with a
+Python double loop — one ``extractor.value`` call per (item, feature),
+each doing its own binary search or table lookup. That loop is the
+single hottest part of TS-PPR's online scoring.
+:class:`SessionFeatureMatrix` replaces it with one numpy gather or
+arithmetic kernel per *feature column*, reading window state straight
+from a :class:`~repro.engine.session.ScoringSession`.
+
+Bit-identity contract: every fast path reproduces the extractor's
+scalar arithmetic exactly —
+
+* table features (item quality, reconsumption ratio) become gathers,
+  which are exact;
+* hyperbolic recency ``1/gap`` and familiarity ``count/length`` are
+  single IEEE-754 divisions in both paths, hence identical;
+* exponential recency keeps the scalar ``math.exp`` loop, because
+  numpy's vectorized ``np.exp`` differs from libm by ulps (verified on
+  this BLAS/numpy build) and would silently change rankings;
+* extractors without a fast path fall back to the per-item scalar loop
+  over a materialized :class:`WindowView`, so custom registered
+  features keep working unchanged.
+
+``tests/test_engine.py`` asserts the matrix equality feature by
+feature against :meth:`BehavioralFeatureModel.matrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.engine.session import ScoringSession
+from repro.exceptions import FeatureError
+from repro.features.base import FeatureExtractor
+from repro.features.dynamic import DynamicFamiliarityFeature, RecencyFeature
+from repro.features.static import ItemQualityFeature, ReconsumptionRatioFeature
+from repro.features.vectorizer import BehavioralFeatureModel
+
+#: Fills one feature column for the given candidate items. ``items``
+#: is the int64 array form, ``keys`` the same items as a Python list —
+#: gather fillers index with the array, dict-lookup fillers iterate the
+#: list; both are derived once per matrix call.
+ColumnFiller = Callable[[ScoringSession, np.ndarray, List[int], np.ndarray], None]
+
+
+def _table_filler(table: np.ndarray) -> ColumnFiller:
+    """Gather from a fitted per-item lookup table (quality / ratio)."""
+    # Scalar gathers over a Python list beat numpy fancy indexing at
+    # typical candidate-set sizes (tens of items); the values are the
+    # identical float64 doubles either way.
+    values = table.tolist()
+    size = table.size
+
+    def fill(
+        session: ScoringSession,
+        items: np.ndarray,
+        keys: List[int],
+        out: np.ndarray,
+    ) -> None:
+        if keys and (min(keys) < 0 or max(keys) >= size):
+            raise FeatureError(
+                f"item outside fitted vocabulary of size {size}"
+            )
+        out[:] = [values[key] for key in keys]
+
+    return fill
+
+
+def _hyperbolic_recency_filler(
+    session: ScoringSession,
+    items: np.ndarray,
+    keys: List[int],
+    out: np.ndarray,
+) -> None:
+    """``c_vt = 1 / (t - l_ut(v))``, 0 for never-consumed items.
+
+    Scalar IEEE-754 division, exactly as the extractor computes it;
+    a Python loop at candidate-set sizes beats the numpy mask dance.
+    """
+    t = session.t
+    out[:] = [
+        1.0 / (t - last) if last >= 0 else 0.0
+        for last in session.last_positions_list(keys)
+    ]
+
+
+def _exponential_recency_filler(
+    session: ScoringSession,
+    items: np.ndarray,
+    keys: List[int],
+    out: np.ndarray,
+) -> None:
+    """``c_vt = e^{-gap}`` via scalar libm exp (see module docstring)."""
+    import math
+
+    t = session.t
+    exp = math.exp
+    out[:] = [
+        exp(-(t - last)) if last >= 0 else 0.0
+        for last in session.last_positions_list(keys)
+    ]
+
+
+def _familiarity_filler(
+    session: ScoringSession,
+    items: np.ndarray,
+    keys: List[int],
+    out: np.ndarray,
+) -> None:
+    """``m_vt = count_in_window / window_length`` (Eq 21)."""
+    length = session.window_length()
+    if length == 0:
+        out[:] = 0.0
+        return
+    counts = session.window_counts_map()
+    out[:] = [counts.get(key, 0) / length for key in keys]
+
+
+def _fallback_filler(extractor: FeatureExtractor) -> ColumnFiller:
+    """Scalar loop over a materialized window for custom extractors."""
+
+    def fill(
+        session: ScoringSession,
+        items: np.ndarray,
+        keys: List[int],
+        out: np.ndarray,
+    ) -> None:
+        window = session.window_view()
+        sequence = session.sequence
+        t = session.t
+        for row, item in enumerate(keys):
+            out[row] = extractor.value(sequence, item, t, window)
+
+    return fill
+
+
+def _filler_for(extractor: FeatureExtractor) -> ColumnFiller:
+    if isinstance(extractor, (ItemQualityFeature, ReconsumptionRatioFeature)):
+        return _table_filler(extractor.table)
+    if isinstance(extractor, RecencyFeature):
+        if extractor.kind == "hyperbolic":
+            return _hyperbolic_recency_filler
+        return _exponential_recency_filler
+    if isinstance(extractor, DynamicFamiliarityFeature):
+        return _familiarity_filler
+    return _fallback_filler(extractor)
+
+
+class SessionFeatureMatrix:
+    """Builds ``f_uvt`` matrices for the candidates of session positions.
+
+    Parameters
+    ----------
+    feature_model:
+        A *fitted* :class:`BehavioralFeatureModel`; its extractor order
+        defines the column order, exactly as in
+        :meth:`BehavioralFeatureModel.matrix`.
+    session:
+        The walk supplying window state. The caller advances it; this
+        object only reads.
+    """
+
+    __slots__ = ("session", "n_features", "_fillers")
+
+    def __init__(
+        self,
+        feature_model: BehavioralFeatureModel,
+        session: ScoringSession,
+    ) -> None:
+        feature_model.window_config  # raises NotFittedError when unfitted
+        self.session = session
+        extractors: List[FeatureExtractor] = [
+            feature_model.extractor(name)
+            for name in feature_model.feature_names
+        ]
+        self.n_features = len(extractors)
+        self._fillers = [_filler_for(extractor) for extractor in extractors]
+
+    def matrix(self, items: np.ndarray) -> np.ndarray:
+        """Feature rows for ``items`` at the session's current position.
+
+        Bit-identical to ``feature_model.matrix(sequence, items, t)``.
+        """
+        keys = items.tolist()
+        rows = np.empty((items.size, self.n_features), dtype=np.float64)
+        for column, fill in enumerate(self._fillers):
+            fill(self.session, items, keys, rows[:, column])
+        return rows

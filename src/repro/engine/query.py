@@ -1,0 +1,68 @@
+"""The unit of the batch-scoring API.
+
+A :class:`Query` names one scoring request: rank ``candidates`` at
+position ``t`` of some user's sequence. The evaluation protocol attaches
+the ground-truth item so hit counting needs no second pass; serving-side
+callers leave ``truth`` as ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import EvaluationError
+
+
+@dataclass(frozen=True)
+class Query:
+    """One scoring request at position ``t``.
+
+    Attributes
+    ----------
+    t:
+        The 0-based sequence position being recommended for; scoring may
+        only consult history strictly before ``t``.
+    candidates:
+        Candidate item indices, in the order scores are returned. The
+        evaluation protocol always passes them sorted ascending, which
+        fixes tie-breaking.
+    truth:
+        Optional ground-truth item (the actual consumption at ``t``),
+        carried for hit counting.
+    """
+
+    t: int
+    candidates: Tuple[int, ...]
+    truth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise EvaluationError(f"query position must be >= 0, got {self.t}")
+        if not isinstance(self.candidates, tuple):
+            object.__setattr__(self, "candidates", tuple(self.candidates))
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+def as_queries(
+    targets: Sequence[Tuple[int, Sequence[int]]],
+) -> List[Query]:
+    """Wrap legacy ``(t, candidates)`` pairs as :class:`Query` objects."""
+    return [Query(t=t, candidates=tuple(candidates)) for t, candidates in targets]
+
+
+def iter_queries_in_order(
+    queries: Sequence[Query],
+) -> Iterator[Tuple[int, Query]]:
+    """Yield ``(original_index, query)`` in non-decreasing ``t`` order.
+
+    Batch kernels walk a forward-only :class:`ScoringSession`, so they
+    must visit queries in time order; this helper lets them accept
+    arbitrarily ordered input while returning scores in input order.
+    The sort is stable, so equal-``t`` queries keep their input order.
+    """
+    order = sorted(range(len(queries)), key=lambda index: queries[index].t)
+    for index in order:
+        yield index, queries[index]

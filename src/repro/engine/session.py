@@ -1,0 +1,253 @@
+"""Incremental window state for a forward walk over one sequence.
+
+The seed path rebuilt ``W_{u,t-1}`` from scratch at every query — an
+O(|W|) slice plus a Python counting loop per position, done once by the
+protocol *and again* inside every window-consuming model. A
+:class:`ScoringSession` pays that cost once at construction and then
+maintains the same state with O(1) dictionary updates per step:
+
+* the **window multiset** — per-item counts over the last ``window_size``
+  consumptions (the paper's ``W_{u,t-1}``);
+* the **Ω multiset** — per-item counts over the last ``min_gap``
+  consumptions (the trivially-remembered exclusions of Section 5.1);
+* **last occurrence** — ``l_ut(v)`` for every item seen since the
+  session start, falling back to the sequence's binary-search index for
+  items last seen before the start.
+
+All accessors are defined to agree exactly with the reference helpers in
+:mod:`repro.windows` (``window_before``, ``recent_items``,
+``candidate_items``, ``iter_repeat_positions``); the engine tests assert
+that equivalence position by position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import DataError
+from repro.windows.window import WindowView
+
+
+class ScoringSession:
+    """Forward-only window/Ω/recency state for one user's sequence.
+
+    Parameters
+    ----------
+    sequence:
+        The user's full consumption sequence.
+    window_size:
+        ``|W|`` — trailing consumptions forming the candidate window.
+    min_gap:
+        ``Ω`` — recent-consumption exclusion span. ``0`` disables the
+        Ω-filter (used by models that need the window only, e.g. FPMC's
+        basket).
+    start:
+        Initial position: the session state describes the window *before*
+        ``start``. Window state construction is O(``window_size``)
+        regardless of ``start`` (plus one O(|S_u|) array-to-list
+        conversion of the items) — history older than the window is
+        reached lazily through the sequence's occurrence index.
+    """
+
+    __slots__ = (
+        "sequence",
+        "window_size",
+        "min_gap",
+        "_items",
+        "_items_list",
+        "_t",
+        "_window_counts",
+        "_recent_counts",
+        "_last_pos",
+    )
+
+    def __init__(
+        self,
+        sequence: ConsumptionSequence,
+        window_size: int,
+        min_gap: int = 0,
+        start: int = 0,
+    ) -> None:
+        if window_size <= 0:
+            raise DataError(f"window_size must be positive, got {window_size}")
+        if min_gap < 0:
+            raise DataError(f"min_gap must be non-negative, got {min_gap}")
+        if not 0 <= start <= len(sequence):
+            raise DataError(
+                f"start {start} outside [0, {len(sequence)}] for user "
+                f"{sequence.user}"
+            )
+        self.sequence = sequence
+        self.window_size = window_size
+        self.min_gap = min_gap
+        self._items = sequence.items
+        # Python ints for the walk: indexing a list is several times
+        # faster than materializing numpy scalars position by position.
+        self._items_list: List[int] = self._items.tolist()
+        self._t = start
+
+        window_counts: Dict[int, int] = {}
+        for item in self._items_list[max(0, start - window_size) : start]:
+            window_counts[item] = window_counts.get(item, 0) + 1
+        recent_counts: Dict[int, int] = {}
+        if min_gap > 0:
+            for item in self._items_list[max(0, start - min_gap) : start]:
+                recent_counts[item] = recent_counts.get(item, 0) + 1
+        self._window_counts = window_counts
+        self._recent_counts = recent_counts
+        # Seeded with every occurrence before ``start`` in one forward
+        # pass: enumerate overwrites, so the dict ends at each item's
+        # last prefix position — the same value the sequence's
+        # binary-search index would return. Items never seen at all
+        # still miss and fall back to that index (returning -1).
+        last_pos: Dict[int, int] = {}
+        for position, item in enumerate(self._items_list[:start]):
+            last_pos[item] = position
+        self._last_pos = last_pos
+
+    # ------------------------------------------------------------------
+    # Walking
+    # ------------------------------------------------------------------
+    @property
+    def t(self) -> int:
+        """Current position: state describes the window before ``t``."""
+        return self._t
+
+    def advance(self) -> None:
+        """Consume the item at the current position and move to ``t+1``."""
+        t = self._t
+        items = self._items_list
+        if t >= len(items):
+            raise DataError(
+                f"cannot advance past the end of user {self.sequence.user}'s "
+                f"sequence (length {len(items)})"
+            )
+        item = items[t]
+        self._last_pos[item] = t
+        window_counts = self._window_counts
+        window_counts[item] = window_counts.get(item, 0) + 1
+        tail = t - self.window_size
+        if tail >= 0:
+            leaving = items[tail]
+            remaining = window_counts[leaving] - 1
+            if remaining:
+                window_counts[leaving] = remaining
+            else:
+                del window_counts[leaving]
+        if self.min_gap > 0:
+            recent_counts = self._recent_counts
+            recent_counts[item] = recent_counts.get(item, 0) + 1
+            tail = t - self.min_gap
+            if tail >= 0:
+                leaving = items[tail]
+                remaining = recent_counts[leaving] - 1
+                if remaining:
+                    recent_counts[leaving] = remaining
+                else:
+                    del recent_counts[leaving]
+        self._t = t + 1
+
+    def advance_to(self, t: int) -> None:
+        """Advance until the state describes the window before ``t``."""
+        if t < self._t:
+            raise DataError(
+                f"ScoringSession is forward-only: at {self._t}, asked for {t}"
+            )
+        while self._t < t:
+            self.advance()
+
+    # ------------------------------------------------------------------
+    # Window state at the current position
+    # ------------------------------------------------------------------
+    def window_length(self) -> int:
+        """Number of consumptions in the window before ``t``."""
+        return min(self._t, self.window_size)
+
+    def window_count(self, item: int) -> int:
+        """Occurrences of ``item`` in the window before ``t``."""
+        return self._window_counts.get(int(item), 0)
+
+    def window_counts(self, items: np.ndarray) -> np.ndarray:
+        """Window occurrence counts for many items; shape ``(n,)``."""
+        counts = self._window_counts
+        keys = items.tolist() if isinstance(items, np.ndarray) else items
+        return np.array([counts.get(key, 0) for key in keys], dtype=np.int64)
+
+    def window_counts_map(self) -> Dict[int, int]:
+        """The live item → window-count dict. Treat as read-only."""
+        return self._window_counts
+
+    def distinct_window_items(self) -> List[int]:
+        """Distinct window items, sorted ascending for determinism."""
+        return sorted(self._window_counts)
+
+    def candidates(self) -> List[int]:
+        """The Ω-filtered RRC candidate set before ``t`` (sorted).
+
+        Equals ``candidate_items(sequence, t, window_size, min_gap)``.
+        """
+        recent = self._recent_counts
+        if recent:
+            return sorted(
+                [item for item in self._window_counts if item not in recent]
+            )
+        return sorted(self._window_counts)
+
+    def last_position(self, item: int) -> int:
+        """``l_ut(v)`` — last occurrence of ``item`` strictly before ``t``."""
+        position = self._last_pos.get(int(item))
+        if position is not None:
+            return position
+        return self.sequence.last_position_before(int(item), self._t)
+
+    def last_positions_list(self, keys: List[int]) -> List[int]:
+        """Last occurrences before ``t`` as a Python list (-1 if never)."""
+        last_pos = self._last_pos
+        lookup = self.sequence.last_position_before
+        t = self._t
+        return [
+            last_pos[key] if key in last_pos else lookup(key, t)
+            for key in keys
+        ]
+
+    def last_positions(self, items: np.ndarray) -> np.ndarray:
+        """Last occurrences before ``t`` for many items (-1 if never)."""
+        keys = items.tolist() if isinstance(items, np.ndarray) else items
+        return np.array(self.last_positions_list(keys), dtype=np.int64)
+
+    def is_target(self) -> bool:
+        """Whether the consumption at the current ``t`` is an RRC target.
+
+        True iff ``x_t`` repeats from the window (gap ≤ ``window_size``)
+        and was not consumed within the last ``min_gap`` steps — exactly
+        the filter of ``iter_repeat_positions``.
+        """
+        t = self._t
+        if t >= len(self._items_list):
+            return False
+        last = self.last_position(self._items_list[t])
+        if last < 0:
+            return False
+        gap = t - last
+        return self.min_gap < gap <= self.window_size
+
+    def window_view(self) -> WindowView:
+        """Materialize the current window as a :class:`WindowView`.
+
+        O(``window_size``) — the escape hatch for custom feature
+        extractors with no vectorized fast path.
+        """
+        t = self._t
+        start = max(0, t - self.window_size)
+        return WindowView(
+            self.sequence.user, start, t, self._items[start:t]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ScoringSession(user={self.sequence.user}, t={self._t}, "
+            f"window_size={self.window_size}, min_gap={self.min_gap})"
+        )

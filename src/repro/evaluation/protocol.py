@@ -8,26 +8,125 @@ and the list is "correct" when it contains the true reconsumed item.
 
 Windows at early test positions reach back into the training prefix —
 the test sequence continues the user's history, exactly as in the paper.
+
+Since the batch-engine redesign the walk is query-driven: a user's
+targets are collected into :class:`~repro.engine.query.Query` objects by
+one incremental :class:`~repro.engine.session.ScoringSession` pass, and
+answered with a single :meth:`~repro.models.base.Recommender.recommend_batch`
+call. With ``workers > 1``, users are sharded across a process pool;
+because per-user hit counts are integers and the pool preserves user
+order, the aggregated MaAP/MiAP are bit-identical to a sequential run.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import multiprocessing
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import EvaluationConfig, normalize_top_ns
+from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
+from repro.engine.query import Query
+from repro.engine.session import ScoringSession
 from repro.evaluation.metrics import (
     AccuracyResult,
     UserCounts,
     aggregate_accuracy,
 )
+from repro.exceptions import EvaluationError
 from repro.models.base import Recommender
-from repro.windows.repeat import iter_evaluation_positions
 
 #: Optional filter deciding which targets count, e.g. Table 5's
 #: "positions STREC classified correctly". Receives (user, t) and the
 #: full sequence; returns True to keep the target.
 TargetFilter = Callable[[int, int], bool]
+
+
+def collect_queries(
+    sequence: ConsumptionSequence,
+    boundary: int,
+    window_size: int,
+    min_gap: int,
+    user: Optional[int] = None,
+    target_filter: Optional[TargetFilter] = None,
+) -> List[Query]:
+    """All evaluation targets of one user's test suffix, as queries.
+
+    Position-for-position equivalent to ``iter_evaluation_positions``
+    (same targets, same sorted candidate lists), built from a single
+    incremental session walk; each query carries the ground-truth item.
+    """
+    queries: List[Query] = []
+    length = len(sequence)
+    if boundary >= length:
+        return queries
+    session = ScoringSession(
+        sequence, window_size, min_gap=min_gap, start=boundary
+    )
+    for t in range(boundary, length):
+        session.advance_to(t)
+        if not session.is_target():
+            continue
+        if target_filter is not None and not target_filter(user, t):
+            continue
+        candidates = session.candidates()
+        if candidates:
+            queries.append(
+                Query(
+                    t=t,
+                    candidates=tuple(candidates),
+                    truth=int(sequence[t]),
+                )
+            )
+    return queries
+
+
+def evaluate_queries(
+    model: Recommender,
+    sequence: ConsumptionSequence,
+    queries: Sequence[Query],
+    top_ns: Sequence[int],
+) -> UserCounts:
+    """Hit counts from one batched recommend over a user's queries.
+
+    ``top_ns`` must already be normalized (sorted, unique, positive).
+    """
+    hits: Dict[int, int] = {top_n: 0 for top_n in top_ns}
+    if not queries:
+        return UserCounts(n_targets=0, hits=hits)
+    max_n = max(top_ns)
+    ranked_lists = model.recommend_batch(sequence, queries, max_n)
+    for query, ranked in zip(queries, ranked_lists):
+        try:
+            position = ranked.index(query.truth)
+        except ValueError:
+            continue
+        for top_n in top_ns:
+            if position < top_n:
+                hits[top_n] += 1
+    return UserCounts(n_targets=len(queries), hits=hits)
+
+
+def _evaluate_sequence(
+    model: Recommender,
+    sequence: ConsumptionSequence,
+    boundary: int,
+    user: int,
+    top_ns: Tuple[int, ...],
+    window_size: int,
+    min_gap: int,
+    target_filter: Optional[TargetFilter] = None,
+) -> UserCounts:
+    """One user's counts from an already-fetched sequence."""
+    queries = collect_queries(
+        sequence,
+        boundary,
+        window_size,
+        min_gap,
+        user=user,
+        target_filter=target_filter,
+    )
+    return evaluate_queries(model, sequence, queries, top_ns)
 
 
 def evaluate_user(
@@ -40,29 +139,62 @@ def evaluate_user(
     target_filter: Optional[TargetFilter] = None,
 ) -> UserCounts:
     """Hit counts for one user's test suffix."""
-    top_ns = normalize_top_ns(top_ns)
-    max_n = max(top_ns)
-    sequence = split.full_sequence(user)
-    boundary = split.train_boundary(user)
+    return _evaluate_sequence(
+        model,
+        split.full_sequence(user),
+        split.train_boundary(user),
+        user,
+        normalize_top_ns(top_ns),
+        window_size,
+        min_gap,
+        target_filter=target_filter,
+    )
 
-    n_targets = 0
-    hits: Dict[int, int] = {top_n: 0 for top_n in top_ns}
-    for t, candidates in iter_evaluation_positions(
-        sequence, boundary, window_size, min_gap
-    ):
-        if target_filter is not None and not target_filter(user, t):
-            continue
-        truth = int(sequence[t])
-        ranked = model.recommend(sequence, candidates, t, max_n)
-        n_targets += 1
-        try:
-            position = ranked.index(truth)
-        except ValueError:
-            continue
-        for top_n in top_ns:
-            if position < top_n:
-                hits[top_n] += 1
-    return UserCounts(n_targets=n_targets, hits=hits)
+
+# ----------------------------------------------------------------------
+# Parallel sharding
+# ----------------------------------------------------------------------
+# Workers are forked, so the model and split are inherited copy-on-write
+# through this module-level slot instead of being pickled per task.
+_PARALLEL_STATE: Optional[tuple] = None
+
+
+def _worker_counts(user: int) -> UserCounts:
+    assert _PARALLEL_STATE is not None
+    model, split, top_ns, window_size, min_gap = _PARALLEL_STATE
+    return _evaluate_sequence(
+        model,
+        split.full_sequence(user),
+        split.train_boundary(user),
+        user,
+        top_ns,
+        window_size,
+        min_gap,
+    )
+
+
+def _evaluate_parallel(
+    model: Recommender,
+    split: SplitDataset,
+    top_ns: Tuple[int, ...],
+    window_size: int,
+    min_gap: int,
+    n_workers: int,
+) -> List[UserCounts]:
+    global _PARALLEL_STATE
+    context = multiprocessing.get_context("fork")
+    chunksize = max(1, split.n_users // (n_workers * 4))
+    _PARALLEL_STATE = (model, split, top_ns, window_size, min_gap)
+    try:
+        with context.Pool(n_workers) as pool:
+            # map() preserves user order, so aggregation sees the same
+            # per-user list as a sequential run — and the counts are
+            # integers, so the result is bit-identical.
+            return pool.map(
+                _worker_counts, range(split.n_users), chunksize=chunksize
+            )
+    finally:
+        _PARALLEL_STATE = None
 
 
 def evaluate_recommender(
@@ -70,6 +202,7 @@ def evaluate_recommender(
     split: SplitDataset,
     config: Optional[EvaluationConfig] = None,
     target_filter: Optional[TargetFilter] = None,
+    workers: int = 1,
 ) -> AccuracyResult:
     """MaAP/MiAP of a fitted recommender over all users' test suffixes.
 
@@ -85,18 +218,44 @@ def evaluate_recommender(
     target_filter:
         Optional per-target predicate (used by the Table 5 combination
         experiment to keep only STREC-correct positions).
+    workers:
+        Shard users across this many forked worker processes. The result
+        is bit-identical to ``workers=1``. Falls back to sequential when
+        the model is non-deterministic (scoring consumes RNG state, so
+        sharding would reorder the stream), when a ``target_filter`` is
+        given (closures may not survive the fork boundary portably), or
+        when the platform lacks ``fork``.
     """
     config = config or EvaluationConfig()
-    per_user: List[UserCounts] = [
-        evaluate_user(
-            model,
-            split,
-            user,
-            config.top_ns,
-            config.window.window_size,
-            config.window.min_gap,
-            target_filter=target_filter,
+    if workers < 1:
+        raise EvaluationError(f"workers must be positive, got {workers}")
+    top_ns = normalize_top_ns(config.top_ns)
+    window_size = config.window.window_size
+    min_gap = config.window.min_gap
+
+    n_workers = min(workers, max(split.n_users, 1))
+    use_parallel = (
+        n_workers > 1
+        and model.deterministic
+        and target_filter is None
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if use_parallel:
+        per_user = _evaluate_parallel(
+            model, split, top_ns, window_size, min_gap, n_workers
         )
-        for user in range(split.n_users)
-    ]
-    return aggregate_accuracy(per_user, normalize_top_ns(config.top_ns))
+    else:
+        per_user = [
+            _evaluate_sequence(
+                model,
+                split.full_sequence(user),
+                split.train_boundary(user),
+                user,
+                top_ns,
+                window_size,
+                min_gap,
+                target_filter=target_filter,
+            )
+            for user in range(split.n_users)
+        ]
+    return aggregate_accuracy(per_user, top_ns)

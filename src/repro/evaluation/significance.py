@@ -24,10 +24,10 @@ import numpy as np
 
 from repro.config import EvaluationConfig
 from repro.data.split import SplitDataset
+from repro.evaluation.protocol import collect_queries
 from repro.exceptions import EvaluationError
 from repro.models.base import Recommender
 from repro.rng import RandomState, ensure_rng
-from repro.windows.repeat import iter_evaluation_positions
 
 
 def collect_hit_vectors(
@@ -39,7 +39,8 @@ def collect_hit_vectors(
     """Per-target hit indicators for each model; shape (n_models, n_targets).
 
     Target ``j`` is the same evaluation position for every model, so
-    columns are paired observations.
+    columns are paired observations. Each model answers a user's targets
+    in one ``recommend_batch`` call.
     """
     if not models:
         raise EvaluationError("need at least one model")
@@ -48,16 +49,19 @@ def collect_hit_vectors(
     rows: List[List[float]] = [[] for _ in models]
     for user in range(split.n_users):
         sequence = split.full_sequence(user)
-        for t, candidates in iter_evaluation_positions(
+        queries = collect_queries(
             sequence,
             split.train_boundary(user),
             window.window_size,
             window.min_gap,
-        ):
-            truth = int(sequence[t])
-            for row, model in zip(rows, models):
-                ranked = model.recommend(sequence, candidates, t, top_n)
-                row.append(1.0 if truth in ranked else 0.0)
+            user=user,
+        )
+        if not queries:
+            continue
+        for row, model in zip(rows, models):
+            ranked_lists = model.recommend_batch(sequence, queries, top_n)
+            for query, ranked in zip(queries, ranked_lists):
+                row.append(1.0 if query.truth in ranked else 0.0)
     matrix = np.asarray(rows, dtype=np.float64)
     if matrix.size == 0 or matrix.shape[1] == 0:
         raise EvaluationError("no evaluation targets found")

@@ -5,16 +5,22 @@ one "instance" in the paper's terms — over a sample of real evaluation
 positions, reported in milliseconds. Results are averaged over several
 trials like the paper's ("data is reported by averaging results on 3
 trials each").
+
+:func:`time_recommender_batched` times the same instances through the
+batch engine (:meth:`~repro.models.base.Recommender.recommend_batch`
+over per-user query lists) so Fig 13 can report the per-query walk and
+the batched walk side by side.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import EvaluationConfig
 from repro.data.split import SplitDataset
+from repro.engine.query import Query
 from repro.exceptions import EvaluationError
 from repro.models.base import Recommender
 from repro.windows.repeat import iter_evaluation_positions
@@ -87,6 +93,47 @@ def time_recommender(
         start = time.perf_counter()
         for user, t, candidates in instances:
             model.recommend(sequences[user], candidates, t, top_n)
+        elapsed = time.perf_counter() - start
+        trial_means.append(elapsed / len(instances))
+    mean_ms = 1000.0 * sum(trial_means) / len(trial_means)
+    return OnlineTiming(
+        method=model.name,
+        mean_ms=mean_ms,
+        n_instances=len(instances),
+        n_trials=n_trials,
+    )
+
+
+def time_recommender_batched(
+    model: Recommender,
+    split: SplitDataset,
+    instances: Optional[List[Tuple[int, int, List[int]]]] = None,
+    config: Optional[EvaluationConfig] = None,
+    top_n: int = 10,
+    n_trials: int = 3,
+) -> OnlineTiming:
+    """Per-instance latency when instances are answered through batches.
+
+    The same sampled instances as :func:`time_recommender`, grouped into
+    one :meth:`~repro.models.base.Recommender.recommend_batch` call per
+    user; the reported mean stays per-instance so the two timings are
+    directly comparable.
+    """
+    config = config or EvaluationConfig()
+    if instances is None:
+        instances = collect_timing_instances(split, config)
+    queries_by_user: Dict[int, List[Query]] = {}
+    for user, t, candidates in instances:
+        queries_by_user.setdefault(user, []).append(
+            Query(t=t, candidates=tuple(candidates))
+        )
+    sequences = {user: split.full_sequence(user) for user in queries_by_user}
+
+    trial_means: List[float] = []
+    for _ in range(n_trials):
+        start = time.perf_counter()
+        for user, queries in queries_by_user.items():
+            model.recommend_batch(sequences[user], queries, top_n)
         elapsed = time.perf_counter() - start
         trial_means.append(elapsed / len(instances))
     mean_ms = 1000.0 * sum(trial_means) / len(trial_means)

@@ -65,6 +65,9 @@ class ExperimentScale:
         SGD update budget for the learned models.
     seed:
         Base seed; per-(dataset, purpose) seeds are derived from it.
+    workers:
+        Evaluation worker processes; results are bit-identical at any
+        value (see :func:`repro.evaluation.protocol.evaluate_recommender`).
     """
 
     name: str
@@ -72,12 +75,15 @@ class ExperimentScale:
     length_factor: float
     max_epochs: int
     seed: int = 7
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.user_factor <= 0 or self.length_factor <= 0:
             raise ExperimentError("scale factors must be positive")
         if self.max_epochs <= 0:
             raise ExperimentError("max_epochs must be positive")
+        if self.workers <= 0:
+            raise ExperimentError("workers must be positive")
 
 
 #: Tiny profile for unit/integration tests.
@@ -187,11 +193,12 @@ def fit_and_evaluate(
     split: SplitDataset,
     eval_config: Optional[EvaluationConfig] = None,
     window: Optional[WindowConfig] = None,
+    workers: int = 1,
 ) -> AccuracyResult:
     """Fit a model on the split and run the accuracy protocol."""
     eval_config = eval_config or EvaluationConfig()
     model.fit(split, window or eval_config.window)
-    return evaluate_recommender(model, split, eval_config)
+    return evaluate_recommender(model, split, eval_config, workers=workers)
 
 
 def accuracy_run(
@@ -202,6 +209,8 @@ def accuracy_run(
     """All-methods accuracy on one dataset, cached for reuse.
 
     Fig 5, Fig 6, Table 3 and the bench suite all consume this one run.
+    ``scale.workers`` only changes wall-clock time, never the numbers,
+    so the cache key can safely ignore it.
     """
     cache_key = (dataset_key, scale.name, "|".join(methods))
     cached = _ACCURACY_CACHE.get(cache_key)
@@ -212,7 +221,7 @@ def accuracy_run(
     for name in methods:
         model = make_model(name, dataset_key, scale)
         logger.info("fitting %s on %s (%s scale)", name, dataset_key, scale.name)
-        results[name] = fit_and_evaluate(model, split)
+        results[name] = fit_and_evaluate(model, split, workers=scale.workers)
     _ACCURACY_CACHE[cache_key] = results
     return results
 

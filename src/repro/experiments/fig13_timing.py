@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from typing import List, Mapping
 
-from repro.evaluation.timing import collect_timing_instances, time_recommender
+from repro.evaluation.timing import (
+    collect_timing_instances,
+    time_recommender,
+    time_recommender_batched,
+)
 from repro.experiments.common import (
     BASELINE_ORDER,
     DATASET_KEYS,
@@ -36,18 +40,22 @@ def run(scale: ExperimentScale) -> ExperimentResult:
         split = build_split(dataset_key, scale)
         instances = collect_timing_instances(split, max_instances=200)
         timings = {}
+        batched_timings = {}
         for method in BASELINE_ORDER:
             model = make_model(
                 method, dataset_key, scale, default_config(dataset_key, scale)
             )
             model.fit(split)
             timing = time_recommender(model, split, instances=instances)
+            batched = time_recommender_batched(model, split, instances=instances)
             timings[method] = timing.mean_ms
+            batched_timings[method] = batched.mean_ms
             rows.append(
                 {
                     "Data set": dataset_title(dataset_key),
                     "Method": method,
                     "Mean time (ms)": round(timing.mean_ms, 4),
+                    "Batched (ms)": round(batched.mean_ms, 4),
                     "Instances": timing.n_instances,
                     "Trials": timing.n_trials,
                 }
@@ -57,6 +65,12 @@ def run(scale: ExperimentScale) -> ExperimentResult:
             f"{dataset_title(dataset_key)}: slowest online method = {slowest} "
             f"({timings[slowest]:.3f} ms); Survival/TS-PPR ratio = "
             f"{timings['Survival'] / max(timings['TS-PPR'], 1e-9):.1f}x"
+        )
+        notes.append(
+            f"{dataset_title(dataset_key)}: batch engine speedup "
+            f"(per-query / batched, TS-PPR) = "
+            f"{timings['TS-PPR'] / max(batched_timings['TS-PPR'], 1e-9):.1f}x; "
+            f"Survival = {timings['Survival'] / max(batched_timings['Survival'], 1e-9):.1f}x"
         )
     return ExperimentResult(
         experiment_id="fig13",

@@ -1,28 +1,54 @@
 """The recommender interface shared by TS-PPR and all baselines.
 
-An RRC recommender sees one query at a time: a user's history up to
-(excluding) position ``t`` and the Ω-filtered candidate set drawn from
-the window before ``t``. It returns scores — higher means "more likely
-to be the reconsumption at ``t``" — from which :meth:`recommend` takes
-the deterministic top-k (candidate order breaks ties, and candidates are
-always passed in sorted item order by the evaluation protocol, so runs
-are reproducible).
+An RRC recommender answers *queries*: rank the Ω-filtered window
+candidates of a user at position ``t``, consulting only history before
+``t``. Since the batch-engine redesign the primary interface is
+batched — :meth:`Recommender.score_batch` and
+:meth:`Recommender.recommend_batch` take a whole list of
+:class:`~repro.engine.query.Query` objects for one user, letting models
+amortize window and feature state across positions through a
+:class:`~repro.engine.session.ScoringSession`. The single-query
+:meth:`score` / :meth:`recommend` remain as thin compatibility wrappers.
+
+Implementors override **either** method family:
+
+* override :meth:`score_batch` for the fast path — the base
+  :meth:`score` then routes a one-query batch through it;
+* or override only :meth:`score` — the base :meth:`score_batch` falls
+  back to a per-query loop and emits a one-time :class:`DeprecationWarning`
+  (the per-query path stays correct but misses the engine's batching).
+
+All bundled models override both: ``score`` keeps the seed's scalar
+reference implementation and ``score_batch`` the vectorized kernel; the
+equivalence suite asserts the two agree bit-identically.
+
+Scores are "higher means more likely to be the reconsumption at ``t``";
+ranking takes the deterministic top-k (candidate order breaks ties, and
+candidates are always passed in sorted item order by the evaluation
+protocol, so runs are reproducible).
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Set, Union
 
 import numpy as np
 
 from repro.config import WindowConfig
 from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
+from repro.engine.query import Query
 from repro.exceptions import EvaluationError, NotFittedError
 from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.faults import FaultInjector
+
+__all__ = ["Query", "Recommender"]
+
+#: Classes already warned about their per-query score_batch fallback.
+_FALLBACK_WARNED: Set[type] = set()
 
 
 class Recommender(ABC):
@@ -30,6 +56,13 @@ class Recommender(ABC):
 
     #: Display name used in result tables; subclasses must override.
     name: str = ""
+
+    #: Whether scoring is a pure function of ``(sequence, candidates, t)``.
+    #: Models that consume RNG state while scoring (e.g. the Random
+    #: baseline) must set this False; the parallel evaluation path only
+    #: shards users across processes for deterministic models, because a
+    #: per-worker copy of mutable scoring state would change results.
+    deterministic: bool = True
 
     def __init__(self) -> None:
         self._fitted = False
@@ -99,9 +132,8 @@ class Recommender(ABC):
             raise NotFittedError(f"{type(self).__name__} used before fit")
 
     # ------------------------------------------------------------------
-    # Scoring and recommendation
+    # Scoring
     # ------------------------------------------------------------------
-    @abstractmethod
     def score(
         self,
         sequence: ConsumptionSequence,
@@ -112,8 +144,61 @@ class Recommender(ABC):
 
         ``sequence`` is the user's *full* sequence; implementations must
         only consult positions ``< t``.
-        """
 
+        The default routes a single-query batch through
+        :meth:`score_batch`; models overriding only this method get the
+        per-query fallback there.
+        """
+        if type(self).score_batch is Recommender.score_batch:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override score or score_batch"
+            )
+        return self.score_batch(
+            sequence, (Query(t=t, candidates=tuple(candidates)),)
+        )[0]
+
+    def score_batch(
+        self,
+        sequence: ConsumptionSequence,
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        """Score many queries of one user; one score array per query.
+
+        This is the engine's primary entry point: implementations walk
+        the sequence once (via a
+        :class:`~repro.engine.session.ScoringSession`) instead of
+        rebuilding window state per query, and must return scores
+        bit-identical to per-query :meth:`score` calls. Queries may
+        arrive in any ``t`` order (kernels visit them time-sorted and
+        restore input order); the evaluation protocol always sends them
+        ascending.
+
+        The default falls back to one :meth:`score` call per query and
+        warns once per class that the model predates the batch API.
+        """
+        if type(self).score is Recommender.score:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override score or score_batch"
+            )
+        cls = type(self)
+        if cls not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(cls)
+            warnings.warn(
+                f"{cls.__name__} only implements per-query score(); "
+                f"score_batch() is falling back to a per-query loop. "
+                f"Override score_batch() for batched scoring — the "
+                f"per-query-only interface is deprecated.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return [
+            self.score(sequence, list(query.candidates), query.t)
+            for query in queries
+        ]
+
+    # ------------------------------------------------------------------
+    # Recommendation
+    # ------------------------------------------------------------------
     def recommend(
         self,
         sequence: ConsumptionSequence,
@@ -121,17 +206,49 @@ class Recommender(ABC):
         t: int,
         k: int,
     ) -> List[int]:
-        """The top-``k`` candidates by :meth:`score`.
+        """The top-``k`` candidates by score — a one-query batch.
 
         Ties are broken by candidate order, which the evaluation protocol
         fixes to ascending item index — so results are deterministic.
         """
+        return self.recommend_batch(
+            sequence, (Query(t=t, candidates=tuple(candidates)),), k
+        )[0]
+
+    def recommend_batch(
+        self,
+        sequence: ConsumptionSequence,
+        queries: Sequence[Query],
+        k: int,
+    ) -> List[List[int]]:
+        """Top-``k`` lists for many queries of one user, in input order.
+
+        Empty-candidate queries yield empty lists without being scored,
+        matching the single-query contract.
+        """
         self._check_fitted()
         if k <= 0:
             raise EvaluationError(f"k must be positive, got {k}")
-        if not candidates:
-            return []
-        scores = np.asarray(self.score(sequence, candidates, t), dtype=np.float64)
+        queries = list(queries)
+        scorable = [query for query in queries if query.candidates]
+        scores_list = self.score_batch(sequence, scorable) if scorable else []
+        ranked: List[List[int]] = []
+        by_query = iter(scores_list)
+        for query in queries:
+            if not query.candidates:
+                ranked.append([])
+                continue
+            ranked.append(self._rank(query.candidates, next(by_query), k))
+        return ranked
+
+    def _rank(
+        self,
+        candidates: Sequence[int],
+        scores: np.ndarray,
+        k: int,
+    ) -> List[int]:
+        """Deterministic top-``k`` from one query's scores."""
+        scores = np.asarray(scores, dtype=np.float64)
         if scores.shape[0] != len(candidates):
             raise EvaluationError(
                 f"{type(self).__name__}.score returned {scores.shape[0]} scores "

@@ -28,6 +28,8 @@ import numpy as np
 from repro.config import WindowConfig
 from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
+from repro.engine.query import Query, iter_queries_in_order
+from repro.engine.session import ScoringSession
 from repro.exceptions import ModelError
 from repro.features.static import compute_item_quality
 from repro.models.base import Recommender
@@ -43,6 +45,24 @@ def recency_ranks(window: WindowView, items: Sequence[int]) -> np.ndarray:
     """
     last_positions = {
         item: window.last_occurrence(item) for item in window.item_set
+    }
+    by_recency = sorted(last_positions, key=lambda v: -last_positions[v])
+    rank_of = {item: rank for rank, item in enumerate(by_recency, start=1)}
+    worst = len(by_recency) + 1
+    return np.array([rank_of.get(int(v), worst) for v in items], dtype=np.int64)
+
+
+def session_recency_ranks(
+    session: ScoringSession, items: Sequence[int]
+) -> np.ndarray:
+    """:func:`recency_ranks` computed from incremental session state.
+
+    Last-occurrence positions are unique within a window, so the sort is
+    a total order and the ranks match the windowed computation exactly.
+    """
+    last_positions = {
+        item: session.last_position(item)
+        for item in session.distinct_window_items()
     }
     by_recency = sorted(last_positions, key=lambda v: -last_positions[v])
     rank_of = {item: rank for rank, item in enumerate(by_recency, start=1)}
@@ -213,3 +233,34 @@ class DYRCRecommender(Recommender):
         ranks = recency_ranks(view, candidates)
         ranks = np.minimum(ranks, self.rank_weights_.size - 1)
         return self.quality_weight_ * self._quality[items] + self.rank_weights_[ranks]
+
+    def score_batch(
+        self,
+        sequence: ConsumptionSequence,
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        """Batch kernel: ranks from session state, gathers per query."""
+        self._check_fitted()
+        assert self._quality is not None
+        assert self.rank_weights_ is not None
+        if not queries:
+            return []
+        quality = self._quality
+        quality_weight = self.quality_weight_
+        rank_weights = self.rank_weights_
+        max_rank = rank_weights.size - 1
+
+        ordered = list(iter_queries_in_order(queries))
+        session = ScoringSession(
+            sequence,
+            self.window_config.window_size,
+            start=ordered[0][1].t,
+        )
+        results: List[np.ndarray] = [np.empty(0)] * len(queries)
+        for index, query in ordered:
+            session.advance_to(query.t)
+            items = np.asarray(query.candidates, dtype=np.int64)
+            ranks = session_recency_ranks(session, query.candidates)
+            ranks = np.minimum(ranks, max_rank)
+            results[index] = quality_weight * quality[items] + rank_weights[ranks]
+        return results

@@ -36,6 +36,8 @@ import numpy as np
 from repro.config import TSPPRConfig, WindowConfig
 from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
+from repro.engine.query import Query, iter_queries_in_order
+from repro.engine.session import ScoringSession
 from repro.exceptions import SamplingError
 from repro.models.base import Recommender
 from repro.optim.lasso import sigmoid
@@ -221,3 +223,48 @@ class FPMCRecommender(Recommender):
                 self.item_user_factors_[items] @ self.user_factors_[sequence.user]
             )
         return scores
+
+    def score_batch(
+        self,
+        sequence: ConsumptionSequence,
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        """Batch kernel: incremental basket maintenance across queries.
+
+        ``session.distinct_window_items()`` is sorted ascending, exactly
+        the row order of ``window.distinct_items()``, so the basket mean
+        reduces over identical rows in identical order.
+        """
+        self._check_fitted()
+        assert self.user_factors_ is not None
+        assert self.item_user_factors_ is not None
+        assert self.item_basket_factors_ is not None
+        assert self.basket_item_factors_ is not None
+        if not queries:
+            return []
+        u_vec = self.user_factors_[sequence.user]
+        IU = self.item_user_factors_
+        IL = self.item_basket_factors_
+        LI = self.basket_item_factors_
+        use_user_term = self.use_user_term
+
+        ordered = list(iter_queries_in_order(queries))
+        session = ScoringSession(
+            sequence,
+            self.window_config.window_size,
+            start=ordered[0][1].t,
+        )
+        results: List[np.ndarray] = [np.empty(0)] * len(queries)
+        for index, query in ordered:
+            session.advance_to(query.t)
+            basket = np.asarray(session.distinct_window_items(), dtype=np.int64)
+            items = np.asarray(query.candidates, dtype=np.int64)
+            if basket.size:
+                eta = LI[basket].mean(axis=0)
+                scores = IL[items] @ eta
+            else:
+                scores = np.zeros(items.size)
+            if use_user_term:
+                scores = scores + (IU[items] @ u_vec)
+            results[index] = scores
+        return results

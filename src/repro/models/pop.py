@@ -7,13 +7,14 @@ quality feature (Eq 16).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.config import WindowConfig
 from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
+from repro.engine.query import Query
 from repro.exceptions import EvaluationError
 from repro.models.base import Recommender
 
@@ -31,6 +32,14 @@ class PopRecommender(Recommender):
         frequencies = split.train_dataset().item_frequencies()
         self._popularity = np.log1p(frequencies.astype(np.float64))
 
+    def _gather(self, items: np.ndarray) -> np.ndarray:
+        assert self._popularity is not None
+        if items.size and (items.min() < 0 or items.max() >= self._popularity.size):
+            raise EvaluationError(
+                f"candidate outside fitted vocabulary of size {self._popularity.size}"
+            )
+        return self._popularity[items]
+
     def score(
         self,
         sequence: ConsumptionSequence,
@@ -38,10 +47,16 @@ class PopRecommender(Recommender):
         t: int,
     ) -> np.ndarray:
         self._check_fitted()
-        assert self._popularity is not None
-        items = np.asarray(candidates, dtype=np.int64)
-        if items.size and (items.min() < 0 or items.max() >= self._popularity.size):
-            raise EvaluationError(
-                f"candidate outside fitted vocabulary of size {self._popularity.size}"
-            )
-        return self._popularity[items]
+        return self._gather(np.asarray(candidates, dtype=np.int64))
+
+    def score_batch(
+        self,
+        sequence: ConsumptionSequence,
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        """Batch kernel: history-independent, one exact gather per query."""
+        self._check_fitted()
+        return [
+            self._gather(np.asarray(query.candidates, dtype=np.int64))
+            for query in queries
+        ]

@@ -15,13 +15,14 @@ time component entirely.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.config import TSPPRConfig, WindowConfig
 from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
+from repro.engine.query import Query
 from repro.models.base import Recommender
 from repro.optim.lasso import sigmoid
 from repro.optim.sgd import SGDResult, run_sgd
@@ -123,3 +124,24 @@ class PPRRecommender(Recommender):
         assert self.item_factors_ is not None
         items = np.asarray(candidates, dtype=np.int64)
         return self.item_factors_[items] @ self.user_factors_[sequence.user]
+
+    def score_batch(
+        self,
+        sequence: ConsumptionSequence,
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        """Batch kernel: hoist the user vector, keep per-query GEMV shapes.
+
+        PPR is time-insensitive, so no window state is needed; the
+        ``(n, K) @ (K,)`` product stays per-query because concatenated
+        GEMMs are not bit-identical to the sliced ones on this build.
+        """
+        self._check_fitted()
+        assert self.user_factors_ is not None
+        assert self.item_factors_ is not None
+        u_vec = self.user_factors_[sequence.user]
+        item_factors = self.item_factors_
+        return [
+            item_factors[np.asarray(query.candidates, dtype=np.int64)] @ u_vec
+            for query in queries
+        ]

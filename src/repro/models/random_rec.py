@@ -8,13 +8,14 @@ candidates — but reproducible given the seed.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.config import WindowConfig
 from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
+from repro.engine.query import Query
 from repro.models.base import Recommender
 from repro.rng import RandomState, ensure_rng
 
@@ -23,6 +24,10 @@ class RandomRecommender(Recommender):
     """Uniformly random ranking of the candidate set."""
 
     name = "Random"
+
+    #: Scoring consumes RNG state, so results depend on call order; the
+    #: parallel evaluation path must not shard this model across workers.
+    deterministic = False
 
     def __init__(self, random_state: RandomState = None) -> None:
         super().__init__()
@@ -40,3 +45,12 @@ class RandomRecommender(Recommender):
     ) -> np.ndarray:
         self._check_fitted()
         return self._rng.random(len(candidates))
+
+    def score_batch(
+        self,
+        sequence: ConsumptionSequence,
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        """Draws in query order — the same RNG stream as per-query calls."""
+        self._check_fitted()
+        return [self._rng.random(len(query.candidates)) for query in queries]

@@ -16,13 +16,15 @@ baseline's Fig 13 cost profile for the timing experiment.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.config import WindowConfig
 from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
+from repro.engine.query import Query, iter_queries_in_order
+from repro.engine.session import ScoringSession
 from repro.models.base import Recommender
 
 
@@ -55,6 +57,36 @@ class RecencyRecommender(Recommender):
             # -inf for never-consumed keeps them strictly below any repeat.
             scores[index] = -(t - last) if last >= 0 else -np.inf
         return scores
+
+    def score_batch(
+        self,
+        sequence: ConsumptionSequence,
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        """Batch kernel: session-tracked last positions, no binary search.
+
+        ``lasts - t`` equals ``-(t - last)`` exactly (small integers are
+        exact in float64), and never-consumed lanes get ``-inf`` as in
+        the per-query path.
+        """
+        self._check_fitted()
+        if not queries:
+            return []
+        ordered = list(iter_queries_in_order(queries))
+        session = ScoringSession(
+            sequence,
+            self.window_config.window_size,
+            start=ordered[0][1].t,
+        )
+        results: List[np.ndarray] = [np.empty(0)] * len(queries)
+        for index, query in ordered:
+            session.advance_to(query.t)
+            items = np.asarray(query.candidates, dtype=np.int64)
+            lasts = session.last_positions(items)
+            scores = (lasts - query.t).astype(np.float64)
+            scores[lasts < 0] = -np.inf
+            results[index] = scores
+        return results
 
     def score_with_exp(
         self,

@@ -14,13 +14,14 @@ time-sensitive machinery specializes in reconsumption.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.config import TSPPRConfig, WindowConfig
 from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
+from repro.engine.query import Query, iter_queries_in_order
 from repro.models.pop import PopRecommender
 from repro.models.tsppr import TSPPRRecommender
 from repro.novel.sampling import sample_novel_quadruples
@@ -90,3 +91,32 @@ class NovelPopRecommender(PopRecommender):
             if int(item) in consumed:
                 demoted[index] = -np.inf
         return demoted
+
+    def score_batch(
+        self,
+        sequence: ConsumptionSequence,
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        """Batch kernel with incremental consumed-set maintenance.
+
+        Overridden explicitly: inheriting Pop's kernel would silently
+        drop the consumed-item demotion this model exists for.
+        """
+        self._check_fitted()
+        if not queries:
+            return []
+        items_sequence = sequence.items
+        consumed: set = set()
+        cursor = 0
+        results: List[np.ndarray] = [np.empty(0)] * len(queries)
+        for index, query in iter_queries_in_order(queries):
+            while cursor < query.t:
+                consumed.add(int(items_sequence[cursor]))
+                cursor += 1
+            items = np.asarray(query.candidates, dtype=np.int64)
+            demoted = self._gather(items).copy()
+            for row, item in enumerate(query.candidates):
+                if int(item) in consumed:
+                    demoted[row] = -np.inf
+            results[index] = demoted
+        return results
