@@ -10,12 +10,25 @@ and one round is what the paper's grid costs.
 The experiment-level caches in :mod:`repro.experiments.common` are
 process-wide, so fig5/fig6/table3 share a single training run when the
 suite runs in one pytest session.
+
+Perf trajectory: speed-guard benchmarks record their measurements
+through the :func:`bench_record` fixture; at session end each group is
+written as machine-readable JSON next to this file — ``BENCH_training.json``
+for the training-engine guard and ``BENCH_engine.json`` for the scoring
+engine — so the numbers can be compared across PRs.
 """
+
+import json
+import platform
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.common import FAST_SCALE
 from repro.experiments.registry import run_experiment
+
+#: Measurements grouped by output file stem, e.g. ``{"training": {...}}``.
+_BENCH_RESULTS = {}
 
 
 @pytest.fixture(scope="session")
@@ -34,3 +47,35 @@ def run_artifact():
         return result
 
     return _run
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record one benchmark measurement for the JSON trajectory files.
+
+    ``bench_record(group, name, **fields)`` files ``fields`` under
+    ``BENCH_<group>.json`` at key ``name``. Values must be
+    JSON-serializable (numbers/strings/lists/dicts).
+    """
+
+    def _record(group, name, **fields):
+        _BENCH_RESULTS.setdefault(group, {})[name] = fields
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write each recorded group as ``benchmarks/BENCH_<group>.json``."""
+    if not _BENCH_RESULTS:
+        return
+    out_dir = Path(__file__).resolve().parent
+    for group, results in sorted(_BENCH_RESULTS.items()):
+        payload = {
+            "group": group,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "results": results,
+        }
+        path = out_dir / f"BENCH_{group}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _BENCH_RESULTS.clear()

@@ -119,7 +119,7 @@ def _measure(model, split):
     return per_query_s, batched_s, n_per_query
 
 
-def test_bench_engine_speedup(bench_split):
+def test_bench_engine_speedup(bench_split, bench_record):
     tsppr = TSPPRRecommender(TSPPRConfig(max_epochs=1000, seed=3))
     tsppr.fit(bench_split, BENCH_WINDOW)
     recency = RecencyRecommender()
@@ -135,6 +135,14 @@ def test_bench_engine_speedup(bench_split):
             f"({1e3 * per_query_s / n_queries:.3f} ms/q), batched "
             f"{batched_s:.3f}s ({1e3 * batched_s / n_queries:.3f} ms/q), "
             f"speedup {speedups[name]:.2f}x"
+        )
+        bench_record(
+            "engine",
+            f"{name.lower().replace('-', '')}_scoring",
+            per_query_s=round(per_query_s, 3),
+            batched_s=round(batched_s, 3),
+            speedup=round(speedups[name], 3),
+            n_queries=n_queries,
         )
     print()
     for line in report:

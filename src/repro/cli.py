@@ -112,6 +112,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument(
+        "--fit-workers",
+        type=int,
+        default=1,
+        help=(
+            "training worker processes for the parallel feature-cache "
+            "build (default: 1); learned parameters are bit-identical "
+            "at any worker count"
+        ),
+    )
+    run_parser.add_argument(
         "--verbose", action="store_true", help="log progress to stderr"
     )
     return parser
@@ -159,6 +169,7 @@ def _run(
     retries: int = 0,
     retry_backoff: float = 0.0,
     workers: int = 1,
+    fit_workers: int = 1,
 ) -> Tuple[str, int]:
     """Run experiments; returns (rendered text, skipped count).
 
@@ -171,10 +182,14 @@ def _run(
     from repro.experiments.storage import save_result
 
     scale = scale_by_name(scale_name)
-    if workers != 1:
-        scale = dataclasses.replace(scale, workers=workers)
+    if workers != 1 or fit_workers != 1:
+        scale = dataclasses.replace(
+            scale, workers=workers, fit_workers=fit_workers
+        )
     blocks: List[str] = []
     n_skipped = 0
+    total_elapsed = 0.0
+    n_timed = 0
     for experiment_id in experiment_ids:
         if (
             journal is not None
@@ -194,10 +209,18 @@ def _run(
             if result is None:
                 continue
         elapsed = time.perf_counter() - start
+        total_elapsed += elapsed
+        n_timed += 1
         blocks.append(result.render())
         blocks.append(f"[{experiment_id} completed in {elapsed:.1f}s at scale {scale.name}]")
         if json_dir is not None:
             save_result(result, json_dir)
+    if n_timed:
+        blocks.append(
+            f"[timing: {n_timed} experiment(s) in {total_elapsed:.1f}s "
+            f"(scale {scale.name}, workers {scale.workers}, "
+            f"fit-workers {scale.fit_workers})]"
+        )
     text = "\n\n".join(blocks)
     if output is not None:
         output.write_text(text + "\n")
@@ -220,6 +243,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--retries must be >= 0, got {args.retries}")
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.fit_workers < 1:
+        parser.error(f"--fit-workers must be >= 1, got {args.fit_workers}")
 
     if args.verbose:
         enable_console_logging()
@@ -239,6 +264,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         retries=args.retries,
         retry_backoff=args.retry_backoff,
         workers=args.workers,
+        fit_workers=args.fit_workers,
     )
     print(text)
     if journal is not None:

@@ -9,6 +9,7 @@ which mirrors the larger accuracy improvement.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Tuple
 
 from repro.experiments.common import (
@@ -30,7 +31,9 @@ def run(scale: ExperimentScale) -> ExperimentResult:
     for dataset_key in DATASET_KEYS:
         split = build_split(dataset_key, scale)
         model = TSPPRRecommender(default_config(dataset_key, scale))
-        model.fit(split)
+        fit_start = time.perf_counter()
+        model.fit(split, fit_workers=scale.fit_workers)
+        fit_elapsed = time.perf_counter() - fit_start
         assert model.sgd_result_ is not None
         history = model.sgd_result_.margin_history
         title = dataset_title(dataset_key)
@@ -41,7 +44,8 @@ def run(scale: ExperimentScale) -> ExperimentResult:
         notes.append(
             f"{title}: converged={model.sgd_result_.converged} after "
             f"{model.sgd_result_.n_updates} updates, final r̃ = "
-            f"{model.sgd_result_.final_margin:.4f}"
+            f"{model.sgd_result_.final_margin:.4f}, train wall-clock "
+            f"{fit_elapsed:.1f}s"
         )
     if len(final_margins) == 2:
         gowalla, lastfm = (

@@ -69,6 +69,7 @@ class Recommender(ABC):
         self._window_config: Optional[WindowConfig] = None
         self._checkpoint_manager: Optional[CheckpointManager] = None
         self._fault_injector: Optional[FaultInjector] = None
+        self._fit_workers = 1
 
     # ------------------------------------------------------------------
     # Fitting
@@ -81,6 +82,7 @@ class Recommender(ABC):
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1,
         fault_injector: Optional[FaultInjector] = None,
+        fit_workers: int = 1,
     ) -> "Recommender":
         """Fit on the training prefixes of ``split``.
 
@@ -98,10 +100,20 @@ class Recommender(ABC):
         fault_injector:
             Test hook killing training/persistence at scheduled points
             (see :mod:`repro.resilience.faults`).
+        fit_workers:
+            Worker processes for the parallelizable parts of training
+            (currently the feature-cache build). Results are
+            bit-identical at any worker count; models without a
+            feature cache ignore it.
         """
         window = window or WindowConfig()
+        if fit_workers < 1:
+            raise EvaluationError(
+                f"fit_workers must be positive, got {fit_workers}"
+            )
         self._window_config = window
         self._fault_injector = fault_injector
+        self._fit_workers = fit_workers
         self._checkpoint_manager = None
         if checkpoint_dir is not None:
             self._checkpoint_manager = CheckpointManager(

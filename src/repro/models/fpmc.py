@@ -40,7 +40,7 @@ from repro.engine.query import Query, iter_queries_in_order
 from repro.engine.session import ScoringSession
 from repro.exceptions import SamplingError
 from repro.models.base import Recommender
-from repro.optim.lasso import sigmoid
+from repro.optim.lasso import sigmoid_scalar
 from repro.optim.sgd import SGDResult, run_sgd
 from repro.rng import ensure_rng
 from repro.windows.window import window_before
@@ -145,7 +145,7 @@ class FPMCRecommender(Recommender):
             basket = baskets[position]
             eta = LI[basket].mean(axis=0)
             margin = margin_of(position, v_j)
-            coeff = alpha * float(sigmoid(np.array(-margin)))
+            coeff = alpha * sigmoid_scalar(-margin)
 
             il_diff = IL[v_i] - IL[v_j]
             if use_user_term:
@@ -169,6 +169,80 @@ class FPMCRecommender(Recommender):
         def draw_index() -> int:
             return int(rng.integers(users.size))
 
+        def draw_block(k: int) -> np.ndarray:
+            """``k`` (position, negative) pairs, stream-exact.
+
+            S-BPR draws the negative *inside* each update, so the block
+            pre-draw must interleave position and negative draws per
+            entry to consume the rng in the scalar call sequence.
+            """
+            pairs = np.empty((k, 2), dtype=np.int64)
+            integers = rng.integers
+            n_positions = users.size
+            for r in range(k):
+                pairs[r, 0] = integers(n_positions)
+                pairs[r, 1] = integers(n_items)
+            return pairs
+
+        # Block kernel: identical arithmetic with buffered ufuncs and a
+        # single eta evaluation per update (the scalar path computes the
+        # same eta twice); bit-identical to ``apply_update`` in order.
+        K_dim = K
+        decay = 1 - alpha * gamma
+        d_buf = np.empty(K_dim)       # IL[v_i] - IL[v_j]
+        ce_buf = np.empty(K_dim)      # coeff * eta
+        cb_buf = np.empty(K_dim)      # (coeff / |basket|) * il_diff
+        x_buf = np.empty(K_dim)
+        u_old = np.empty(K_dim)
+        iu_buf = np.empty(K_dim)
+        ciu_buf = np.empty(K_dim)
+        cu_buf = np.empty(K_dim)
+
+        def apply_block(pairs: np.ndarray) -> None:
+            # In-place ``+=`` on the shared buffers would otherwise make
+            # the names function-local.
+            nonlocal x_buf
+            pair_list = pairs.tolist()
+            for position, v_j in pair_list:
+                v_i = int(positives[position])
+                if v_j == v_i:
+                    continue  # the draws are already consumed
+                basket = baskets[position]
+                eta = LI[basket].mean(axis=0)
+                np.subtract(IL[v_i], IL[v_j], out=d_buf)  # il_diff
+                margin = float(eta @ d_buf)
+                if use_user_term:
+                    user = int(users[position])
+                    np.subtract(IU[v_i], IU[v_j], out=iu_buf)
+                    margin += float(UI[user] @ iu_buf)
+                coeff = alpha * sigmoid_scalar(-margin)
+
+                if use_user_term:
+                    u_old[:] = UI[user]
+                    np.multiply(iu_buf, coeff, out=ciu_buf)
+                    np.multiply(u_old, decay, out=x_buf)
+                    x_buf += ciu_buf
+                    UI[user] = x_buf
+                    np.multiply(u_old, coeff, out=cu_buf)
+                    np.multiply(IU[v_i], decay, out=x_buf)
+                    x_buf += cu_buf
+                    IU[v_i] = x_buf
+                    np.multiply(IU[v_j], decay, out=x_buf)
+                    x_buf -= cu_buf
+                    IU[v_j] = x_buf
+                np.multiply(eta, coeff, out=ce_buf)
+                np.multiply(IL[v_i], decay, out=x_buf)
+                x_buf += ce_buf
+                IL[v_i] = x_buf
+                np.multiply(IL[v_j], decay, out=x_buf)
+                x_buf -= ce_buf
+                IL[v_j] = x_buf
+                basket_block = LI[basket]  # gathered copy
+                basket_block *= decay
+                np.multiply(d_buf, coeff / basket.size, out=cb_buf)
+                basket_block += cb_buf
+                LI[basket] = basket_block
+
         def get_state() -> dict:
             return {
                 "user_factors": UI,
@@ -185,9 +259,12 @@ class FPMCRecommender(Recommender):
             LI[...] = params["basket_item_factors"]
 
         check_interval = max(1, math.floor(users.size * config.batch_fraction))
+        use_block = config.training_engine == "vectorized"
         self.sgd_result_ = run_sgd(
             draw_index=draw_index,
             apply_update=apply_update,
+            draw_block=draw_block if use_block else None,
+            apply_block=apply_block if use_block else None,
             batch_margin=batch_margin,
             max_updates=config.max_epochs,
             check_interval=check_interval,

@@ -12,7 +12,7 @@
 """
 
 from repro.optim.convergence import ConvergenceMonitor
-from repro.optim.lasso import LogisticLasso, sigmoid
+from repro.optim.lasso import LogisticLasso, sigmoid, sigmoid_scalar
 from repro.optim.newton import NewtonResult, newton_minimize
 from repro.optim.sgd import SGDResult, run_sgd
 
@@ -24,4 +24,5 @@ __all__ = [
     "newton_minimize",
     "run_sgd",
     "sigmoid",
+    "sigmoid_scalar",
 ]

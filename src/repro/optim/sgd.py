@@ -6,6 +6,14 @@ a fixed small batch, delegating the stop decision to a
 :class:`~repro.optim.convergence.ConvergenceMonitor`. Models supply two
 callables and stay in charge of their own parameters.
 
+Two execution modes share that contract. The scalar mode interleaves
+``draw_index()`` / ``apply_update(index)`` one update at a time. The
+block mode (``draw_block`` + ``apply_block``) pre-draws a whole
+check-interval's worth of schedule entries in one stream-exact call and
+hands them to a vectorized kernel; the rng call sequence, the update
+order, the margin history, and checkpoint cadence are all identical, so
+the two modes produce bit-identical results.
+
 Crash safety: when a :class:`~repro.resilience.checkpoint.CheckpointManager`
 is supplied (together with ``get_state``/``set_state`` callables and the
 schedule ``rng``), the driver snapshots the full training state at
@@ -63,14 +71,16 @@ class SGDResult:
 
 
 def run_sgd(
-    draw_index: Callable[[], int],
-    apply_update: Callable[[int], None],
+    draw_index: Optional[Callable[[], int]],
+    apply_update: Optional[Callable[[int], None]],
     batch_margin: Callable[[], float],
     max_updates: int,
     check_interval: int,
     tol: float = 1e-3,
     patience: int = 1,
     *,
+    draw_block: Optional[Callable[[int], np.ndarray]] = None,
+    apply_block: Optional[Callable[[np.ndarray], None]] = None,
     checkpoint: Optional[CheckpointManager] = None,
     get_state: Optional[Callable[[], Dict[str, np.ndarray]]] = None,
     set_state: Optional[Callable[[Dict[str, np.ndarray]], None]] = None,
@@ -85,6 +95,16 @@ def run_sgd(
         Returns the next training-example index (the schedule).
     apply_update:
         Applies one stochastic update for the given index.
+    draw_block / apply_block:
+        Block execution mode: ``draw_block(k)`` pre-draws the next ``k``
+        schedule entries *stream-exactly* (consuming the rng in the same
+        call sequence ``k`` scalar draws would) and ``apply_block``
+        applies them in order with a vectorized kernel that must be
+        bit-identical to ``k`` ``apply_update`` calls. When both are
+        given the loop runs whole check-interval blocks through them;
+        ``draw_index``/``apply_update`` may then be ``None``. Blocks
+        never cross a convergence-check boundary, so margin history and
+        checkpoint cadence are identical in either mode.
     batch_margin:
         Returns the current mean margin ``r̃`` on the fixed small batch.
     max_updates:
@@ -108,12 +128,26 @@ def run_sgd(
         so a resumed schedule replays bit-identically.
     fault_injector:
         Test hook: consulted before every update so crash-safety tests
-        can kill the run at an exact update count.
+        can kill the run at an exact update count. In block mode the
+        injector is consulted for each of the block's updates *before*
+        the block kernel runs — the fault fires at the same update
+        count, and because recovery always replays from the last
+        check-boundary checkpoint, resume results are bit-identical to
+        the scalar path either way.
     """
     if max_updates <= 0:
         raise ValueError(f"max_updates must be positive, got {max_updates}")
     if check_interval <= 0:
         raise ValueError(f"check_interval must be positive, got {check_interval}")
+    if (draw_block is None) != (apply_block is None):
+        raise ValueError(
+            "block mode requires both draw_block and apply_block callables"
+        )
+    use_block = draw_block is not None and apply_block is not None
+    if not use_block and (draw_index is None or apply_update is None):
+        raise ValueError(
+            "scalar mode requires both draw_index and apply_update callables"
+        )
     if checkpoint is not None and (get_state is None or set_state is None):
         raise ValueError(
             "checkpointing requires both get_state and set_state callables"
@@ -161,10 +195,16 @@ def run_sgd(
 
     while n_updates < max_updates and not converged:
         block = min(check_interval, max_updates - n_updates)
-        for _ in range(block):
+        if use_block:
             if fault_injector is not None:
-                fault_injector.on_update()
-            apply_update(draw_index())
+                for _ in range(block):
+                    fault_injector.on_update()
+            apply_block(draw_block(block))
+        else:
+            for _ in range(block):
+                if fault_injector is not None:
+                    fault_injector.on_update()
+                apply_update(draw_index())
         n_updates += block
         converged = monitor.record(n_updates, batch_margin())
         if checkpoint is not None:

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.exceptions import NotFittedError
-from repro.optim.lasso import LogisticLasso, sigmoid, soft_threshold
+from repro.optim.lasso import (
+    LogisticLasso,
+    sigmoid,
+    sigmoid_scalar,
+    soft_threshold,
+)
 
 
 class TestSigmoid:
@@ -24,6 +29,19 @@ class TestSigmoid:
     def test_monotone(self):
         z = np.linspace(-5, 5, 101)
         assert np.all(np.diff(sigmoid(z)) > 0)
+
+    def test_scalar_variant_bit_equal(self, rng):
+        # The per-update SGD paths use sigmoid_scalar while the block
+        # kernels use the array form; the two must agree bit for bit,
+        # including at ±0.0, saturation, and infinities.
+        pinned = np.array([
+            -np.inf, -710.0, -40.0, -1.5, -1e-300, -0.0,
+            0.0, 1e-300, 1.5, 40.0, 710.0, np.inf,
+        ])
+        z = np.concatenate((pinned, rng.normal(scale=8.0, size=200)))
+        array_values = sigmoid(z)
+        scalar_values = np.array([sigmoid_scalar(float(v)) for v in z])
+        assert np.array_equal(array_values, scalar_values)
 
 
 class TestSoftThreshold:

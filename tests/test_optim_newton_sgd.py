@@ -200,3 +200,113 @@ class TestRunSGD:
         hand_built = SGDResult(n_updates=0, converged=False, margin_history=())
         with pytest.raises(ValueError, match="no convergence checks"):
             hand_built.final_margin
+
+
+class TestRunSGDBlockMode:
+    def _problem(self, seed=0):
+        """A tiny SGD problem runnable in either execution mode.
+
+        The "parameters" are a counter vector; updates add their index,
+        so any reordering or double-application changes the result.
+        """
+        rng = np.random.default_rng(seed)
+        state = {"x": np.zeros(8), "drawn": []}
+
+        def draw_index():
+            return int(rng.integers(8))
+
+        def draw_block(k):
+            return np.array([draw_index() for _ in range(k)])
+
+        def apply_update(index):
+            state["drawn"].append(index)
+            state["x"][index] += 1.0 + 0.01 * index
+
+        def apply_block(indices):
+            for index in indices:
+                apply_update(int(index))
+
+        def batch_margin():
+            return float(state["x"].sum())
+
+        return state, draw_index, draw_block, apply_update, apply_block, batch_margin
+
+    def test_block_mode_matches_scalar_mode(self):
+        state_s, draw, _, update, _, margin_s = self._problem(seed=7)
+        scalar = run_sgd(
+            draw_index=draw,
+            apply_update=update,
+            batch_margin=margin_s,
+            max_updates=95,
+            check_interval=20,
+            tol=1e-12,
+        )
+        state_b, _, draw_block, _, apply_block, margin_b = self._problem(seed=7)
+        block = run_sgd(
+            draw_index=None,
+            apply_update=None,
+            draw_block=draw_block,
+            apply_block=apply_block,
+            batch_margin=margin_b,
+            max_updates=95,
+            check_interval=20,
+            tol=1e-12,
+        )
+        assert scalar == block  # n_updates, converged, margin history
+        assert np.array_equal(state_s["x"], state_b["x"])
+        assert state_s["drawn"] == state_b["drawn"]
+
+    def test_blocks_never_cross_check_boundaries(self):
+        sizes = []
+        _, _, draw_block, _, apply_block, _ = self._problem()
+
+        def logging_draw(k):
+            sizes.append(k)
+            return draw_block(k)
+
+        run_sgd(
+            draw_index=None,
+            apply_update=None,
+            draw_block=logging_draw,
+            apply_block=apply_block,
+            batch_margin=lambda: float(len(sizes)),  # never stabilizes
+            max_updates=55,
+            check_interval=20,
+            tol=1e-12,
+        )
+        # Whole check intervals, then the budget remainder.
+        assert sizes == [20, 20, 15]
+
+    def test_block_mode_requires_both_callables(self):
+        _, draw, draw_block, update, apply_block, margin = self._problem()
+        with pytest.raises(ValueError, match="block mode requires both"):
+            run_sgd(
+                draw_index=draw,
+                apply_update=update,
+                draw_block=draw_block,
+                apply_block=None,
+                batch_margin=margin,
+                max_updates=10,
+                check_interval=5,
+            )
+        with pytest.raises(ValueError, match="block mode requires both"):
+            run_sgd(
+                draw_index=draw,
+                apply_update=update,
+                draw_block=None,
+                apply_block=apply_block,
+                batch_margin=margin,
+                max_updates=10,
+                check_interval=5,
+            )
+
+    def test_scalar_mode_requires_both_callables(self):
+        _, draw, _, _, _, margin = self._problem()
+        with pytest.raises(ValueError, match="scalar mode requires both"):
+            run_sgd(
+                draw_index=draw,
+                apply_update=None,
+                batch_margin=margin,
+                max_updates=10,
+                check_interval=5,
+            )

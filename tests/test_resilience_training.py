@@ -158,6 +158,36 @@ class TestModelResume:
         assert np.array_equal(resumed.item_factors_, reference.item_factors_)
         assert resumed.sgd_result_ == reference.sgd_result_
 
+    def test_tsppr_block_mode_resume_matches_scalar_run(
+        self, gowalla_split, tmp_path
+    ):
+        """Crash under the vectorized (block SGD) engine, resume, and
+        compare against an *uninterrupted scalar* run: the crash/resume
+        cycle and the engine swap must both be invisible."""
+        scalar_reference = TSPPRRecommender(
+            TSPPRConfig(max_epochs=4000, seed=8, training_engine="scalar")
+        ).fit(gowalla_split)
+
+        config = TSPPRConfig(max_epochs=4000, seed=8, training_engine="vectorized")
+        crash_at = scalar_reference.sgd_result_.n_updates // 2
+        with pytest.raises(FaultInjected):
+            TSPPRRecommender(config).fit(
+                gowalla_split,
+                checkpoint_dir=tmp_path,
+                fault_injector=FaultInjector(crash_at_update=crash_at),
+            )
+        resumed = TSPPRRecommender(config).fit(
+            gowalla_split, checkpoint_dir=tmp_path
+        )
+        assert np.array_equal(
+            resumed.user_factors_, scalar_reference.user_factors_
+        )
+        assert np.array_equal(
+            resumed.item_factors_, scalar_reference.item_factors_
+        )
+        assert np.array_equal(resumed.mappings_, scalar_reference.mappings_)
+        assert resumed.sgd_result_ == scalar_reference.sgd_result_
+
     @pytest.mark.tier2
     def test_fpmc_resume_bit_identical(self, gowalla_split, tmp_path):
         config = TSPPRConfig(max_epochs=4000, seed=8)
@@ -205,11 +235,15 @@ class TestModelResume:
         assert resumed.sgd_result_ == reference.sgd_result_
 
     @pytest.mark.tier2
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
     @pytest.mark.parametrize("fault_seed", [0, 1, 2, 3, 4])
-    def test_seeded_crash_point_sweep(self, gowalla_split, tmp_path, fault_seed):
-        """Seed-driven crash points: wherever the kill lands, resume
-        reproduces the uninterrupted run exactly."""
-        config = TSPPRConfig(max_epochs=4000, seed=8)
+    def test_seeded_crash_point_sweep(
+        self, gowalla_split, tmp_path, fault_seed, engine
+    ):
+        """Seed-driven crash points under both execution engines:
+        wherever the kill lands, resume reproduces the uninterrupted
+        run exactly."""
+        config = TSPPRConfig(max_epochs=4000, seed=8, training_engine=engine)
         reference = TSPPRRecommender(config).fit(gowalla_split)
         injector = FaultInjector.from_seed(
             fault_seed, max_update=reference.sgd_result_.n_updates

@@ -7,7 +7,10 @@ from repro.config import SplitConfig, WindowConfig
 from repro.data.dataset import Dataset
 from repro.data.split import temporal_split
 from repro.exceptions import SamplingError
-from repro.sampling.quadruples import sample_quadruples
+from repro.sampling.quadruples import (
+    sample_quadruples,
+    sample_quadruples_reference,
+)
 from repro.sampling.schedule import UserUniformSchedule, small_batch_indices
 from repro.windows.repeat import is_valid_target, recent_items, window_before
 
@@ -91,6 +94,26 @@ class TestSampleQuadruples:
             assert np.all(np.diff(times) >= 0)
 
 
+class TestSamplerEquivalence:
+    """Fast sampler must replay the seed reference exactly, rng and all."""
+
+    @pytest.mark.parametrize("n_negatives", [1, 3, 10])
+    def test_bit_identical_to_reference(self, gowalla_split, n_negatives):
+        fast = sample_quadruples(
+            gowalla_split, WINDOW, n_negatives, random_state=31
+        )
+        reference = sample_quadruples_reference(
+            gowalla_split, WINDOW, n_negatives, random_state=31
+        )
+        assert np.array_equal(fast.users, reference.users)
+        assert np.array_equal(fast.positives, reference.positives)
+        assert np.array_equal(fast.negatives, reference.negatives)
+        assert np.array_equal(fast.times, reference.times)
+        assert set(fast.per_user) == set(reference.per_user)
+        for user, rows in fast.per_user.items():
+            assert np.array_equal(rows, reference.per_user[user])
+
+
 class TestUserUniformSchedule:
     def test_draws_cover_all_users(self, gowalla_split):
         quadruples = sample_quadruples(gowalla_split, WINDOW, 3, random_state=2)
@@ -128,6 +151,29 @@ class TestUserUniformSchedule:
         schedule = UserUniformSchedule(quadruples, random_state=5)
         with pytest.raises(SamplingError):
             schedule.draw_many(-1)
+
+    def test_draw_many_is_stream_exact(self, gowalla_split):
+        # The block SGD mode swaps draw() for draw_many() mid-training
+        # (checkpoint resume restores the rng and continues with either),
+        # so draw_many(n) must consume the rng stream exactly as n
+        # scalar draw() calls would — same bounds, same call sequence.
+        quadruples = sample_quadruples(gowalla_split, WINDOW, 3, random_state=2)
+        scalar = UserUniformSchedule(quadruples, random_state=17)
+        block = UserUniformSchedule(quadruples, random_state=17)
+        expected = [scalar.draw() for _ in range(256)]
+        assert block.draw_many(256).tolist() == expected
+
+    def test_draw_and_draw_many_interleave(self, gowalla_split):
+        quadruples = sample_quadruples(gowalla_split, WINDOW, 3, random_state=2)
+        scalar = UserUniformSchedule(quadruples, random_state=19)
+        mixed = UserUniformSchedule(quadruples, random_state=19)
+        expected = [scalar.draw() for _ in range(70)]
+        got = (
+            mixed.draw_many(30).tolist()
+            + [mixed.draw() for _ in range(10)]
+            + mixed.draw_many(30).tolist()
+        )
+        assert got == expected
 
 
 class TestSmallBatchIndices:
