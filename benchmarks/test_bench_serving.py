@@ -1,0 +1,220 @@
+"""Bench: micro-batched serving throughput vs one-request-at-a-time.
+
+The guard drives the same held-out event stream through two
+:class:`~repro.serving.service.RecommendService` instances that differ
+only in batching policy:
+
+* **naive** — ``max_batch=1``: every recommend request is scored alone,
+  so each one pays the full session walk to its position;
+* **micro-batched** — ``max_batch=64`` with a short straggler wait:
+  concurrent requests coalesce, group by user, and are answered with one
+  ``recommend_batch`` call whose ascending-``t`` queries amortize the
+  window/feature walk exactly as the offline engine does.
+
+The workload is the engine bench's heavy-window regime (|W| = 250,
+dense targets, large candidate sets) where the walk dominates, and the
+driver submits asynchronously (ingest + submit without waiting) so the
+queue actually backs up into full batches — the shape a loaded server
+sees. The assertion requires **micro-batched >= 3x naive throughput**
+for TS-PPR, and both modes must return *identical* recommendation
+lists, equal to the offline protocol's (batching is a latency decision,
+never an accuracy one).
+
+Measured throughput, latency percentiles (p50/p95/p99 including queue
+time), and the speedup are recorded to ``BENCH_serving.json`` via the
+session-scoped ``bench_record`` fixture.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.config import TSPPRConfig, WindowConfig
+from repro.data.split import temporal_split
+from repro.evaluation.protocol import collect_queries
+from repro.models.tsppr import TSPPRRecommender
+from repro.serving.service import ServiceConfig, service_for_split
+from repro.synth.base import SyntheticConfig, generate_dataset
+
+pytestmark = pytest.mark.bench
+
+#: Heavy-window serving regime — matches the engine bench.
+BENCH_WINDOW = WindowConfig(window_size=250, min_gap=10)
+
+#: Dense-target generator — the engine bench's recipe: long sequences
+#: make the per-request session walk the dominant cost the micro-batch
+#: amortizes away.
+BENCH_SYNTH = SyntheticConfig(
+    name="serving-bench",
+    n_users=4,
+    n_items=4000,
+    sequence_length_range=(1400, 1800),
+    catalog_size_range=(300, 400),
+    zipf_exponent=0.7,
+    p_explore_range=(0.2, 0.3),
+    memory_span=240,
+    frequency_exponent=0.05,
+    recency_exponent=0.05,
+    explore_weight_exponent=0.0,
+)
+
+TOP_N = 10
+REPS = 2
+
+
+@pytest.fixture(scope="module")
+def bench_split():
+    return temporal_split(generate_dataset(BENCH_SYNTH, 101))
+
+
+@pytest.fixture(scope="module")
+def bench_model(bench_split):
+    model = TSPPRRecommender(TSPPRConfig(max_epochs=1000, seed=3))
+    model.fit(bench_split, BENCH_WINDOW)
+    return model
+
+
+def _interleaved_stream(split) -> List[Tuple[int, int]]:
+    """Round-robin the users' held-out suffixes, like live traffic."""
+    per_user = {
+        user: split.full_sequence(user).items[
+            split.train_boundary(user):
+        ].tolist()
+        for user in range(split.n_users)
+    }
+    stream: List[Tuple[int, int]] = []
+    longest = max(len(items) for items in per_user.values())
+    for step in range(longest):
+        for user in range(split.n_users):
+            if step < len(per_user[user]):
+                stream.append((user, per_user[user][step]))
+    return stream
+
+
+def _drive(model, split, stream, max_batch, max_wait_ms):
+    """Async replay: submit-without-waiting + ingest, then drain.
+
+    Returns (elapsed seconds, per-user answer lists, per-request
+    latencies in seconds).
+    """
+    config = ServiceConfig(
+        window=BENCH_WINDOW,
+        default_k=TOP_N,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        n_items=split.n_items,
+    )
+    answers: Dict[int, List[List[int]]] = {u: [] for u in range(split.n_users)}
+    pending = []
+    with service_for_split(model, split, config=config) as service:
+        store = service.store
+        start = time.perf_counter()
+        for user, item in stream:
+            with store.lock:
+                session = store.get(user)
+                is_target = session.is_next_target(item) and bool(
+                    session.candidates()
+                )
+            if is_target:
+                pending.append((user, service.submit(user, k=TOP_N)))
+            service.ingest(user, item)
+        for user, handle in pending:
+            answers[user].append(handle.result(timeout=600.0).items)
+        elapsed = time.perf_counter() - start
+        latencies = [handle.result().latency_s for _, handle in pending]
+    return elapsed, answers, latencies
+
+
+def _offline_reference(model, split) -> Dict[int, List[List[int]]]:
+    """The offline protocol's answers for the same target positions."""
+    reference: Dict[int, List[List[int]]] = {}
+    for user in range(split.n_users):
+        sequence = split.full_sequence(user)
+        queries = collect_queries(
+            sequence,
+            split.train_boundary(user),
+            BENCH_WINDOW.window_size,
+            BENCH_WINDOW.min_gap,
+            user=user,
+        )
+        reference[user] = (
+            model.recommend_batch(sequence, queries, TOP_N) if queries else []
+        )
+    return reference
+
+
+def _percentiles_ms(latencies: List[float]) -> Dict[str, float]:
+    values = np.asarray(latencies, dtype=np.float64) * 1e3
+    return {
+        "p50_ms": round(float(np.percentile(values, 50)), 3),
+        "p95_ms": round(float(np.percentile(values, 95)), 3),
+        "p99_ms": round(float(np.percentile(values, 99)), 3),
+    }
+
+
+def _best_drive(model, split, stream, max_batch, max_wait_ms):
+    best = (float("inf"), None, None)
+    for _ in range(REPS):
+        run = _drive(model, split, stream, max_batch, max_wait_ms)
+        if run[0] < best[0]:
+            best = run
+    return best
+
+
+def test_bench_serving_speedup(bench_split, bench_model, bench_record):
+    stream = _interleaved_stream(bench_split)
+
+    naive_s, naive_answers, naive_lat = _best_drive(
+        bench_model, bench_split, stream, max_batch=1, max_wait_ms=0.0
+    )
+    batched_s, batched_answers, batched_lat = _best_drive(
+        bench_model, bench_split, stream, max_batch=64, max_wait_ms=2.0
+    )
+
+    # Accuracy first: batching must never change a single answer.
+    reference = _offline_reference(bench_model, bench_split)
+    assert batched_answers == naive_answers
+    assert batched_answers == reference
+
+    n_requests = len(naive_lat)
+    assert n_requests == len(batched_lat) > 0
+    speedup = naive_s / batched_s
+    report = (
+        f"serving: {n_requests} requests over {len(stream)} events; "
+        f"naive {naive_s:.3f}s ({n_requests / naive_s:.1f} req/s), "
+        f"micro-batched {batched_s:.3f}s "
+        f"({n_requests / batched_s:.1f} req/s), speedup {speedup:.2f}x"
+    )
+    print()
+    print(report)
+
+    for name, elapsed, latencies in (
+        ("naive", naive_s, naive_lat),
+        ("micro_batched", batched_s, batched_lat),
+    ):
+        bench_record(
+            "serving",
+            f"tsppr_{name}",
+            elapsed_s=round(elapsed, 3),
+            requests=n_requests,
+            events=len(stream),
+            requests_per_s=round(n_requests / elapsed, 1),
+            **_percentiles_ms(latencies),
+        )
+    bench_record(
+        "serving",
+        "tsppr_speedup",
+        speedup=round(speedup, 3),
+        window_size=BENCH_WINDOW.window_size,
+        min_gap=BENCH_WINDOW.min_gap,
+        max_batch=64,
+        max_wait_ms=2.0,
+    )
+
+    # The headline guard: coalescing into per-user recommend_batch calls
+    # must amortize the session walk by a wide margin.
+    assert speedup >= 3.0, report

@@ -7,6 +7,8 @@ Usage::
     repro-experiments run all --scale full --output results.txt
     repro-experiments run all --journal runs/journal.json --retries 2
     repro-experiments run all --journal runs/journal.json --resume
+    repro-experiments serve --model recency --event-log runs/events.log
+    repro-experiments replay --event-log runs/events.log
 
 ``run all`` executes every registered table/figure in id order and
 concatenates the rendered outputs — the full EXPERIMENTS.md evidence run.
@@ -19,6 +21,12 @@ aborting the whole evidence run, prints a one-line summary on exit,
 and returns a nonzero exit code iff anything remains failed.
 ``--resume`` skips experiments the journal already marks ``done`` —
 rerun the same command after a crash and only unfinished work repeats.
+
+``serve`` and ``replay`` mount the online serving layer
+(:mod:`repro.serving.cli`, also installed standalone as ``repro-serve``):
+``serve`` fits a model and answers live recommendation requests over
+HTTP; ``replay`` rebuilds session state from an event log and prints the
+per-user fingerprints a recovering server would reach.
 """
 
 from __future__ import annotations
@@ -37,6 +45,12 @@ from repro.experiments.registry import (
 )
 from repro.logging_utils import enable_console_logging, get_logger
 from repro.resilience.journal import RunJournal
+from repro.serving.cli import (
+    add_replay_arguments,
+    add_serve_arguments,
+    run_replay,
+    run_serve,
+)
 
 logger = get_logger("cli")
 
@@ -49,9 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
             "Repeat Consumption from User Implicit Feedback' (ICDE 2017)."
         ),
     )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="console log level (debug, info, warning, error); implies "
+        "logging to stderr",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiment ids")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve live recommendations over HTTP"
+    )
+    add_serve_arguments(serve_parser)
+    replay_parser = subparsers.add_parser(
+        "replay", help="rebuild serving state from an event log"
+    )
+    add_replay_arguments(replay_parser)
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument(
@@ -230,10 +259,19 @@ def _run(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        try:
+            enable_console_logging(args.log_level)
+        except ValueError as exc:
+            parser.error(str(exc))
     if args.command == "list":
         for experiment_id in available_experiments():
             print(experiment_id)
         return 0
+    if args.command == "serve":
+        return run_serve(args)
+    if args.command == "replay":
+        return run_replay(args)
 
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")

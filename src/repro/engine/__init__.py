@@ -23,12 +23,13 @@ shard users across a process pool (``workers=N``).
 """
 
 from repro.engine.query import Query, iter_queries_in_order
-from repro.engine.session import ScoringSession
+from repro.engine.session import ScoringSession, fingerprint_state
 from repro.engine.features import SessionFeatureMatrix
 
 __all__ = [
     "Query",
     "ScoringSession",
     "SessionFeatureMatrix",
+    "fingerprint_state",
     "iter_queries_in_order",
 ]

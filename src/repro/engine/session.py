@@ -22,6 +22,7 @@ that equivalence position by position.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List
 
 import numpy as np
@@ -29,6 +30,40 @@ import numpy as np
 from repro.data.sequence import ConsumptionSequence
 from repro.exceptions import DataError
 from repro.windows.window import WindowView
+
+
+def fingerprint_state(
+    user: int,
+    t: int,
+    window_size: int,
+    min_gap: int,
+    window_counts: Dict[int, int],
+    recent_counts: Dict[int, int],
+    last_pos: Dict[int, int],
+) -> str:
+    """Canonical sha256 digest of one user's window/Ω/recency state.
+
+    The digest covers everything scoring can observe — position, window
+    and Ω multisets, and per-item last occurrences — in sorted-key
+    canonical form, so two sessions fingerprint equal iff they would
+    answer every state accessor identically. Shared by the offline
+    :class:`ScoringSession` and the serving layer's live sessions, which
+    lets the equivalence and crash-recovery suites compare the two with
+    a single string comparison.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"v1|{user}|{t}|{window_size}|{min_gap}".encode("ascii")
+    )
+    for label, mapping in (
+        ("w", window_counts),
+        ("r", recent_counts),
+        ("l", last_pos),
+    ):
+        digest.update(f"|{label}".encode("ascii"))
+        for key in sorted(mapping):
+            digest.update(f"|{key}:{mapping[key]}".encode("ascii"))
+    return digest.hexdigest()
 
 
 class ScoringSession:
@@ -233,6 +268,25 @@ class ScoringSession:
             return False
         gap = t - last
         return self.min_gap < gap <= self.window_size
+
+    def state_fingerprint(self) -> str:
+        """Canonical digest of the state before ``t`` (see
+        :func:`fingerprint_state`).
+
+        The constructor seeds ``_last_pos`` with every prefix occurrence
+        and :meth:`advance` keeps it current, so the digest covers the
+        full observable recency state, not just items touched since
+        ``start``.
+        """
+        return fingerprint_state(
+            self.sequence.user,
+            self._t,
+            self.window_size,
+            self.min_gap,
+            self._window_counts,
+            self._recent_counts,
+            self._last_pos,
+        )
 
     def window_view(self) -> WindowView:
         """Materialize the current window as a :class:`WindowView`.

@@ -54,3 +54,7 @@ class EvaluationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was misconfigured or referenced unknown ids."""
+
+
+class ServingError(ReproError):
+    """The online serving layer received an invalid request or reply."""

@@ -11,7 +11,21 @@ from __future__ import annotations
 import logging
 import time
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
+
+
+def coerce_level(level: Union[int, str]) -> int:
+    """Resolve a logging level given as int or name ("info", "DEBUG", …).
+
+    This is the parser behind every ``--log-level`` CLI flag; unknown
+    names raise :class:`ValueError` so argparse reports them cleanly.
+    """
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
 
 
 def get_logger(name: Optional[str] = None) -> logging.Logger:
@@ -27,10 +41,15 @@ def get_logger(name: Optional[str] = None) -> logging.Logger:
     return logging.getLogger(f"repro.{name}")
 
 
-def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
-    """Attach a single stream handler to the package logger (idempotent)."""
+def enable_console_logging(
+    level: Union[int, str] = logging.INFO
+) -> logging.Logger:
+    """Attach a single stream handler to the package logger (idempotent).
+
+    ``level`` may be an int or a level name (see :func:`coerce_level`).
+    """
     logger = get_logger()
-    logger.setLevel(level)
+    logger.setLevel(coerce_level(level))
     if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
         handler = logging.StreamHandler()
         handler.setFormatter(

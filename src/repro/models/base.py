@@ -45,10 +45,33 @@ from repro.exceptions import EvaluationError, NotFittedError
 from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.faults import FaultInjector
 
-__all__ = ["Query", "Recommender"]
+__all__ = ["Query", "Recommender", "rank_top_k"]
 
 #: Classes already warned about their per-query score_batch fallback.
 _FALLBACK_WARNED: Set[type] = set()
+
+
+def rank_top_k(
+    candidates: Sequence[int],
+    scores: np.ndarray,
+    k: int,
+    owner: str = "rank_top_k received",
+) -> List[int]:
+    """Deterministic top-``k``: stable argsort on negated scores.
+
+    Candidate order breaks ties, exactly as :meth:`Recommender._rank`
+    always did — this is the single tie-breaking rule shared by every
+    model and by the serving layer's deadline-fallback path.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape[0] != len(candidates):
+        raise EvaluationError(
+            f"{owner} {scores.shape[0]} scores "
+            f"for {len(candidates)} candidates"
+        )
+    k = min(k, len(candidates))
+    order = np.argsort(-scores, kind="stable")[:k]
+    return [int(candidates[int(i)]) for i in order]
 
 
 class Recommender(ABC):
@@ -260,16 +283,9 @@ class Recommender(ABC):
         k: int,
     ) -> List[int]:
         """Deterministic top-``k`` from one query's scores."""
-        scores = np.asarray(scores, dtype=np.float64)
-        if scores.shape[0] != len(candidates):
-            raise EvaluationError(
-                f"{type(self).__name__}.score returned {scores.shape[0]} scores "
-                f"for {len(candidates)} candidates"
-            )
-        k = min(k, len(candidates))
-        # Stable mergesort on negated scores keeps candidate order on ties.
-        order = np.argsort(-scores, kind="stable")[:k]
-        return [int(candidates[int(i)]) for i in order]
+        return rank_top_k(
+            candidates, scores, k, owner=f"{type(self).__name__}.score returned"
+        )
 
     def __repr__(self) -> str:
         state = "fitted" if self._fitted else "unfitted"

@@ -58,17 +58,25 @@ class RecencyRecommender(Recommender):
             scores[index] = -(t - last) if last >= 0 else -np.inf
         return scores
 
+    @staticmethod
+    def scores_from_last_positions(lasts: np.ndarray, t: int) -> np.ndarray:
+        """The batch-kernel arithmetic from pre-fetched last positions.
+
+        ``lasts - t`` equals ``-(t - last)`` exactly (small integers are
+        exact in float64), and never-consumed lanes get ``-inf`` as in
+        the per-query path. Exposed so the serving layer's deadline
+        fallback ranks with literally the same kernel.
+        """
+        scores = (np.asarray(lasts, dtype=np.int64) - t).astype(np.float64)
+        scores[lasts < 0] = -np.inf
+        return scores
+
     def score_batch(
         self,
         sequence: ConsumptionSequence,
         queries: Sequence[Query],
     ) -> List[np.ndarray]:
-        """Batch kernel: session-tracked last positions, no binary search.
-
-        ``lasts - t`` equals ``-(t - last)`` exactly (small integers are
-        exact in float64), and never-consumed lanes get ``-inf`` as in
-        the per-query path.
-        """
+        """Batch kernel: session-tracked last positions, no binary search."""
         self._check_fitted()
         if not queries:
             return []
@@ -83,9 +91,7 @@ class RecencyRecommender(Recommender):
             session.advance_to(query.t)
             items = np.asarray(query.candidates, dtype=np.int64)
             lasts = session.last_positions(items)
-            scores = (lasts - query.t).astype(np.float64)
-            scores[lasts < 0] = -np.inf
-            results[index] = scores
+            results[index] = self.scores_from_last_positions(lasts, query.t)
         return results
 
     def score_with_exp(

@@ -1,0 +1,52 @@
+"""The online serving layer: live sessions, event log, micro-batched service.
+
+Everything before this package was offline — train a model, walk a
+pre-loaded split, report accuracy. :mod:`repro.serving` turns the
+trained artifacts into a long-lived service that ingests consumption
+events as they happen and answers "what should user *u* reconsume
+now?", while staying bit-identical to the offline evaluation protocol:
+
+* :mod:`~repro.serving.state` — :class:`LiveSession` (the engine's
+  window/Ω/recency bookkeeping with an O(1) live ``append`` path) and
+  :class:`SessionStore` (LRU-bounded residency with transparent
+  rehydration from base history + event-log replay);
+* :mod:`~repro.serving.events` — the crc-checked append-only
+  :class:`EventLog`, written write-ahead so crash recovery is pure
+  replay;
+* :mod:`~repro.serving.service` — :class:`RecommendService`, coalescing
+  concurrent requests into micro-batches over the engine's
+  ``score_batch`` kernels, with per-request deadlines degrading to the
+  Recency baseline;
+* :mod:`~repro.serving.server` / :mod:`~repro.serving.client` —
+  stdlib-only JSON-over-HTTP transport;
+* :mod:`~repro.serving.metrics` — latency histograms (p50/p95/p99),
+  request/fallback/eviction counters, and session-cache hit rate,
+  exposed on ``/metrics``.
+"""
+
+from repro.serving.client import ServingClient
+from repro.serving.events import Event, EventLog
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.server import RecommendServer
+from repro.serving.service import (
+    RecommendResult,
+    RecommendService,
+    ServiceConfig,
+    service_for_split,
+)
+from repro.serving.state import LiveSession, SessionStore
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "LatencyHistogram",
+    "LiveSession",
+    "RecommendResult",
+    "RecommendServer",
+    "RecommendService",
+    "ServiceConfig",
+    "ServingClient",
+    "ServingMetrics",
+    "SessionStore",
+    "service_for_split",
+]

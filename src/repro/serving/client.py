@@ -1,0 +1,97 @@
+"""Stdlib HTTP client for the serving endpoints.
+
+A thin :mod:`urllib.request` wrapper speaking the same four routes as
+:mod:`repro.serving.server`; 4xx replies surface as
+:class:`~repro.exceptions.ServingError` carrying the server's error
+message, so client code and tests get typed failures instead of raw
+HTTP exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.exceptions import ServingError
+
+
+class ServingClient:
+    """Talk to one running :class:`~repro.serving.server.RecommendServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, path: str, payload: Optional[dict] = None
+    ) -> Dict[str, object]:
+        url = f"{self.base_url}{path}"
+        data = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", str(exc)
+                )
+            except Exception:  # noqa: BLE001 - body may not be JSON
+                message = str(exc)
+            raise ServingError(
+                f"{path} failed with HTTP {exc.code}: {message}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServingError(f"cannot reach {url}: {exc.reason}") from exc
+
+    def ingest(self, user: int, item: int) -> int:
+        """Send one consumption event; returns its committed position."""
+        reply = self._request("/events", {"user": user, "item": item})
+        return int(reply["position"])  # type: ignore[arg-type]
+
+    def recommend(
+        self,
+        user: int,
+        k: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Ask for a top-k list; returns the full response payload."""
+        payload: Dict[str, object] = {"user": user}
+        if k is not None:
+            payload["k"] = k
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self._request("/recommend", payload)
+
+    def recommend_items(
+        self,
+        user: int,
+        k: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> List[int]:
+        """Just the ranked item list of :meth:`recommend`."""
+        return [
+            int(item)
+            for item in self.recommend(user, k, deadline_ms)["items"]  # type: ignore[union-attr]
+        ]
+
+    def metrics(self) -> Dict[str, object]:
+        return self._request("/metrics")
+
+    def health(self) -> bool:
+        """Whether the server answers its liveness probe."""
+        try:
+            return self._request("/healthz").get("status") == "ok"
+        except ServingError:
+            return False

@@ -1,0 +1,155 @@
+"""Serving observability: latency histograms and request counters.
+
+Everything the service measures lands here: request/event/fallback/error
+counters, micro-batch occupancy, and fixed-bucket latency histograms
+with p50/p95/p99 estimates. The whole registry renders to one plain
+dict, which is what the HTTP ``/metrics`` endpoint returns and what
+:meth:`ServingMetrics.dump` writes (atomically, via the resilience
+layer) next to the experiment journals so a benchmark run leaves a
+machine-readable latency table behind.
+
+Histograms use ~60 log-spaced bucket bounds between 10µs and 60s;
+percentiles report the upper bound of the bucket containing the rank,
+i.e. a ≤8% overestimate — the right bias for latency SLOs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.resilience.atomic import atomic_write_json
+
+
+def _default_bounds() -> List[float]:
+    """Log-spaced bucket upper bounds (seconds), ~8% apart, 10µs → 60s."""
+    bounds: List[float] = []
+    value = 1e-5
+    while value < 60.0:
+        bounds.append(value)
+        value *= 1.08
+    bounds.append(60.0)
+    return bounds
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram of durations in seconds.
+
+    Observations beyond the last bound land in a +inf overflow bucket;
+    percentile estimates then report the last finite bound.
+    """
+
+    def __init__(self, bounds: Optional[List[float]] = None) -> None:
+        self.bounds = list(bounds) if bounds is not None else _default_bounds()
+        if sorted(self.bounds) != self.bounds or not self.bounds:
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.n = 0
+        self.total = 0.0
+        self.max_seen = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect.bisect_left(self.bounds, seconds)
+        self.counts[index] += 1
+        self.n += 1
+        self.total += seconds
+        if seconds > self.max_seen:
+            self.max_seen = seconds
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile (0..1)."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        if self.n == 0:
+            return 0.0
+        rank = max(1, int(q * self.n + 0.5))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.bounds[-1]
+        return self.bounds[-1]
+
+    def summary(self) -> Dict[str, float]:
+        """count/mean/max plus the standard p50/p95/p99, in milliseconds."""
+        mean = (self.total / self.n) if self.n else 0.0
+        return {
+            "count": self.n,
+            "mean_ms": round(1e3 * mean, 4),
+            "p50_ms": round(1e3 * self.percentile(0.50), 4),
+            "p95_ms": round(1e3 * self.percentile(0.95), 4),
+            "p99_ms": round(1e3 * self.percentile(0.99), 4),
+            "max_ms": round(1e3 * self.max_seen, 4),
+        }
+
+
+class ServingMetrics:
+    """Thread-safe registry of every number the service exposes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "events": 0,
+            "recommendations": 0,
+            "empty_candidate_requests": 0,
+            "deadline_fallbacks": 0,
+            "errors": 0,
+            "batches": 0,
+            "batched_requests": 0,
+        }
+        self._histograms: Dict[str, LatencyHistogram] = {
+            "request_latency": LatencyHistogram(),
+            "scoring_latency": LatencyHistogram(),
+        }
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def as_dict(
+        self, store_counters: Optional[Dict[str, float]] = None
+    ) -> Dict[str, object]:
+        """One JSON-ready snapshot: counters, histograms, cache stats."""
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = {
+                name: histogram.summary()
+                for name, histogram in self._histograms.items()
+            }
+        batches = counters.get("batches", 0)
+        payload: Dict[str, object] = {
+            "counters": counters,
+            "latency": latencies,
+            "mean_batch_size": (
+                round(counters.get("batched_requests", 0) / batches, 3)
+                if batches
+                else 0.0
+            ),
+        }
+        if store_counters is not None:
+            payload["session_cache"] = store_counters
+        return payload
+
+    def dump(
+        self,
+        path: Union[str, Path],
+        store_counters: Optional[Dict[str, float]] = None,
+    ) -> Path:
+        """Atomically write the snapshot as JSON (crash-safe, journal-style)."""
+        return atomic_write_json(path, self.as_dict(store_counters))

@@ -1,0 +1,198 @@
+"""Stdlib JSON-over-HTTP front end for :class:`RecommendService`.
+
+No framework, no new dependency: a :class:`http.server.ThreadingHTTPServer`
+whose handler translates four routes into service calls:
+
+=========  ======  ====================================================
+Route      Method  Body / response
+=========  ======  ====================================================
+/events     POST   ``{"user": u, "item": i}`` → committed position
+/recommend  POST   ``{"user": u, "k"?: n, "deadline_ms"?: d}`` →
+                   ranked items + degraded flag
+/metrics    GET    full metrics snapshot (counters, latency, cache)
+/healthz    GET    liveness probe
+=========  ======  ====================================================
+
+Handler threads funnel into the service's micro-batching queue, so
+concurrent HTTP clients are exactly what fills scoring batches. Request
+logging goes through :mod:`repro.logging_utils` with the service's
+per-request ids — the default ``BaseHTTPRequestHandler`` stderr writes
+are disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.exceptions import ReproError, ServingError
+from repro.logging_utils import get_logger
+from repro.serving.service import RecommendService
+
+logger = get_logger("serving.server")
+
+#: Reject request bodies beyond this size (a liveness guard, not a quota).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route HTTP requests into the wrapped service."""
+
+    #: Set by RecommendServer before the server starts.
+    service: RecommendService
+
+    # Silence the default stderr access log; we log through `repro`.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            raise ServingError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ServingError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _field(payload: dict, name: str) -> int:
+        if name not in payload:
+            raise ServingError(f"missing required field {name!r}")
+        try:
+            return int(payload[name])
+        except (TypeError, ValueError) as exc:
+            raise ServingError(f"field {name!r} must be an integer") from exc
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif self.path == "/metrics":
+                self._send_json(200, self.service.metrics_snapshot())
+            else:
+                self._send_json(404, {"error": f"unknown route {self.path}"})
+        except Exception as exc:  # noqa: BLE001 - must answer the socket
+            logger.warning("GET %s failed: %s", self.path, exc)
+            self._send_json(500, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            payload = self._read_json()
+            if self.path == "/events":
+                user = self._field(payload, "user")
+                item = self._field(payload, "item")
+                position = self.service.ingest(user, item)
+                self._send_json(
+                    200, {"user": user, "item": item, "position": position}
+                )
+            elif self.path == "/recommend":
+                user = self._field(payload, "user")
+                k = (
+                    self._field(payload, "k") if "k" in payload else None
+                )
+                deadline_ms = payload.get("deadline_ms")
+                if deadline_ms is not None:
+                    deadline_ms = float(deadline_ms)
+                result = self.service.recommend(
+                    user, k=k, deadline_ms=deadline_ms
+                )
+                self._send_json(
+                    200,
+                    {
+                        "request_id": result.request_id,
+                        "user": result.user,
+                        "t": result.t,
+                        "items": result.items,
+                        "degraded": result.degraded,
+                        "latency_ms": round(1e3 * result.latency_s, 3),
+                    },
+                )
+            else:
+                self._send_json(404, {"error": f"unknown route {self.path}"})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - must answer the socket
+            logger.warning("POST %s failed: %s", self.path, exc)
+            self._send_json(500, {"error": str(exc)})
+
+
+class RecommendServer:
+    """Own one HTTP listener bound to one :class:`RecommendService`.
+
+    ``start()`` serves from a daemon thread (tests, embedding);
+    ``serve_forever()`` blocks (the CLI). ``close()`` shuts the listener
+    down and closes the service — sealing the event log, so a restarted
+    server recovers by replay.
+    """
+
+    def __init__(
+        self,
+        service: RecommendService,
+        host: str = "127.0.0.1",
+        port: int = 8423,
+    ) -> None:
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — port resolved if 0 was requested."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "RecommendServer":
+        """Serve from a background daemon thread."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serving-http",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("serving on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        logger.info("serving on %s", self.url)
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            logger.info("interrupted; shutting down")
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop the listener, then close the service (seals the log)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "RecommendServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

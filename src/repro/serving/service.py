@@ -1,0 +1,540 @@
+"""The online recommendation service: ingest events, answer queries.
+
+:class:`RecommendService` is the bridge between a fitted
+:class:`~repro.models.base.Recommender` and live traffic. It owns three
+moving parts:
+
+* a :class:`~repro.serving.state.SessionStore` of live per-user
+  window/Ω/recency state, updated O(1) per ingested event;
+* an optional :class:`~repro.serving.events.EventLog` written
+  write-ahead (the event is durable *before* it mutates session state),
+  which makes crash recovery a pure replay;
+* a **micro-batching** scoring loop: concurrent recommend requests are
+  coalesced from a queue into batches (up to ``max_batch``, waiting at
+  most ``max_wait_ms`` for stragglers), grouped by user, and answered
+  with one :meth:`~repro.models.base.Recommender.recommend_batch` call
+  per user — so the engine's session-walk kernels amortize window and
+  feature state across requests exactly as they do offline.
+
+Correctness contract: a request's position ``t`` and candidate set are
+captured synchronously at submit time under the store lock, so whatever
+batch shape the queue produces, each request is answered from exactly
+the history before its ``t`` — recommendations are bit-identical to the
+offline evaluation protocol and independent of batching, concurrency,
+or timing.
+
+Deadlines degrade gracefully instead of failing: each request may carry
+a deadline; when the model misses it (or the request expired while
+queued), the service answers from the Recency baseline computed directly
+from session state (same score arithmetic and tie-breaking as
+:class:`~repro.models.recency.RecencyRecommender` — the fallback is a
+real, well-defined recommender, just a cheaper one) and marks the
+response degraded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import WindowConfig
+from repro.data.split import SplitDataset
+from repro.engine.query import Query
+from repro.exceptions import ServingError
+from repro.logging_utils import get_logger
+from repro.models.base import Recommender, rank_top_k
+from repro.models.recency import RecencyRecommender
+from repro.serving.events import EventLog
+from repro.serving.metrics import ServingMetrics
+from repro.serving.state import SessionStore
+
+logger = get_logger("serving.service")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs of one :class:`RecommendService`.
+
+    Attributes
+    ----------
+    window:
+        The RRC protocol parameters sessions are built with.
+    default_k:
+        Top-N size when a request does not specify one.
+    max_batch:
+        Maximum requests coalesced into one scoring batch;
+        ``max_batch=1`` disables micro-batching (the naive
+        one-request-at-a-time loop the benchmark compares against).
+    max_wait_ms:
+        How long the batcher waits for stragglers after the first
+        request of a batch arrives.
+    default_deadline_ms:
+        Deadline applied to requests that do not carry their own;
+        ``None`` disables deadlines (requests always wait for the
+        model).
+    n_items:
+        Optional item-vocabulary bound; ingested events outside it are
+        rejected before touching any state.
+    """
+
+    window: WindowConfig = field(default_factory=WindowConfig)
+    default_k: int = 10
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    default_deadline_ms: Optional[float] = None
+    n_items: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.default_k <= 0:
+            raise ServingError(f"default_k must be positive, got {self.default_k}")
+        if self.max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ServingError(
+                f"max_wait_ms must be non-negative, got {self.max_wait_ms}"
+            )
+        if self.default_deadline_ms is not None and self.default_deadline_ms < 0:
+            raise ServingError(
+                f"default_deadline_ms must be non-negative, got "
+                f"{self.default_deadline_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class RecommendResult:
+    """One answered recommend request."""
+
+    request_id: str
+    user: int
+    t: int
+    items: List[int]
+    degraded: bool
+    latency_s: float
+
+
+class _PendingRequest:
+    """A submitted request: captured query state plus a waitable slot."""
+
+    __slots__ = (
+        "request_id",
+        "user",
+        "t",
+        "candidates",
+        "k",
+        "deadline",
+        "lasts",
+        "submitted",
+        "_done",
+        "_result",
+        "_error",
+    )
+
+    def __init__(
+        self,
+        request_id: str,
+        user: int,
+        t: int,
+        candidates: tuple,
+        k: int,
+        deadline: Optional[float],
+        lasts: Optional[np.ndarray],
+    ) -> None:
+        self.request_id = request_id
+        self.user = user
+        self.t = t
+        self.candidates = candidates
+        self.k = k
+        self.deadline = deadline
+        self.lasts = lasts
+        self.submitted = time.monotonic()
+        self._done = threading.Event()
+        self._result: Optional[RecommendResult] = None
+        self._error: Optional[BaseException] = None
+
+    def resolve(self, items: List[int], degraded: bool) -> None:
+        self._result = RecommendResult(
+            request_id=self.request_id,
+            user=self.user,
+            t=self.t,
+            items=items,
+            degraded=degraded,
+            latency_s=time.monotonic() - self.submitted,
+        )
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def result(self, timeout: Optional[float] = None) -> RecommendResult:
+        if not self._done.wait(timeout):
+            raise ServingError(
+                f"request {self.request_id} timed out after {timeout}s"
+            )
+        if self._error is not None:
+            raise ServingError(
+                f"request {self.request_id} failed: {self._error}"
+            ) from self._error
+        assert self._result is not None
+        return self._result
+
+
+#: Queue sentinel telling the batching worker to exit.
+_SHUTDOWN = object()
+
+
+class RecommendService:
+    """Live recommendation service over a fitted recommender.
+
+    Parameters
+    ----------
+    model:
+        A fitted, *deterministic* recommender (scoring must be a pure
+        function of the history — micro-batching reorders calls).
+    store:
+        The live session store. Wire its ``event_source`` to
+        ``event_log.events_for`` so eviction rehydrates through the log.
+    event_log:
+        Optional write-ahead log; without one, ingested events survive
+        only as long as the process (and eviction loses them).
+    config:
+        Operational knobs; defaults match the paper's protocol.
+    """
+
+    def __init__(
+        self,
+        model: Recommender,
+        store: SessionStore,
+        event_log: Optional[EventLog] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        config = config or ServiceConfig()
+        if not model.is_fitted:
+            raise ServingError("RecommendService requires a fitted model")
+        if not model.deterministic:
+            raise ServingError(
+                "RecommendService requires a deterministic model: "
+                "micro-batching reorders scoring calls"
+            )
+        if (
+            store.window_size != config.window.window_size
+            or store.min_gap != config.window.min_gap
+        ):
+            raise ServingError(
+                f"store window ({store.window_size}, {store.min_gap}) does "
+                f"not match service window ({config.window.window_size}, "
+                f"{config.window.min_gap})"
+            )
+        self.model = model
+        self.store = store
+        self.event_log = event_log
+        self.config = config
+        self.metrics = ServingMetrics()
+        self._request_ids = itertools.count()
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._batch_loop, name="repro-serving-batcher", daemon=True
+        )
+        self._worker.start()
+        logger.info(
+            "service started: model=%s window=(%d, %d) max_batch=%d "
+            "max_wait_ms=%.1f",
+            model.name or type(model).__name__,
+            config.window.window_size,
+            config.window.min_gap,
+            config.max_batch,
+            config.max_wait_ms,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, user: int, item: int) -> int:
+        """Apply one consumption event; returns its sequence position.
+
+        Write-ahead discipline: the event is committed to the log first,
+        then applied to the live session. A crash between the two
+        replays the logged event on restart; a crash before the log
+        write leaves no trace anywhere — either way state stays exactly
+        replayable.
+
+        The session is materialized *before* the log write: rehydration
+        replays every previously-logged event, so logging first and then
+        letting ``store.get`` rebuild would apply the new event twice.
+        """
+        user, item = int(user), int(item)
+        if user < 0:
+            raise ServingError(f"user must be non-negative, got {user}")
+        if item < 0 or (
+            self.config.n_items is not None and item >= self.config.n_items
+        ):
+            raise ServingError(
+                f"item {item} outside the vocabulary "
+                f"[0, {self.config.n_items})"
+            )
+        with self.store.lock:
+            session = self.store.get(user)
+            if self.event_log is not None:
+                self.event_log.append(user, item)
+            position = session.append(item)
+        self.metrics.inc("events")
+        return position
+
+    # ------------------------------------------------------------------
+    # Recommendation
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        user: int,
+        k: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> _PendingRequest:
+        """Enqueue one recommend request; returns a waitable handle.
+
+        The query state (position, Ω-filtered candidates, and — when a
+        deadline is set — the last-position vector the Recency fallback
+        needs) is captured *now*, under the store lock; later ingests
+        cannot leak into this request.
+        """
+        if self._closed:
+            raise ServingError("service is closed")
+        k = self.config.default_k if k is None else int(k)
+        if k <= 0:
+            raise ServingError(f"k must be positive, got {k}")
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        request_id = f"r{next(self._request_ids):08d}"
+        with self.store.lock:
+            session = self.store.get(int(user))
+            t = session.t
+            candidates = tuple(session.candidates())
+            lasts = (
+                session.last_positions(candidates)
+                if deadline_ms is not None and candidates
+                else None
+            )
+        deadline = (
+            time.monotonic() + deadline_ms / 1e3
+            if deadline_ms is not None
+            else None
+        )
+        pending = _PendingRequest(
+            request_id, int(user), t, candidates, k, deadline, lasts
+        )
+        self.metrics.inc("requests")
+        if not candidates:
+            # Nothing recommendable (cold user or everything Ω-excluded):
+            # answer empty without occupying the scoring loop.
+            self.metrics.inc("empty_candidate_requests")
+            pending.resolve([], degraded=False)
+            logger.debug(
+                "request %s user=%d t=%d: empty candidate set",
+                request_id, user, t,
+            )
+            return pending
+        logger.debug(
+            "request %s user=%d t=%d k=%d candidates=%d deadline_ms=%s",
+            request_id, user, t, k, len(candidates), deadline_ms,
+        )
+        self._queue.put(pending)
+        return pending
+
+    def recommend(
+        self,
+        user: int,
+        k: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> RecommendResult:
+        """Submit and wait: the synchronous request path."""
+        result = self.submit(user, k, deadline_ms).result(timeout)
+        self.metrics.observe("request_latency", result.latency_s)
+        self.metrics.inc("recommendations")
+        return result
+
+    def step(
+        self, user: int, item: int, k: Optional[int] = None
+    ) -> Optional[RecommendResult]:
+        """Replay primitive: recommend-if-target, then ingest ``item``.
+
+        Mirrors one position of the offline evaluation walk — a
+        recommendation is produced exactly when the incoming consumption
+        is an RRC target with a non-empty candidate set (the
+        ``collect_queries`` filter), *before* the event is applied.
+        Used by the equivalence suite, the benchmark, and ``replay``.
+        """
+        with self.store.lock:
+            session = self.store.get(int(user))
+            is_target = session.is_next_target(int(item)) and bool(
+                session.candidates()
+            )
+        result = self.recommend(user, k) if is_target else None
+        self.ingest(user, item)
+        return result
+
+    # ------------------------------------------------------------------
+    # Micro-batching worker
+    # ------------------------------------------------------------------
+    def _batch_loop(self) -> None:
+        max_wait = self.config.max_wait_ms / 1e3
+        while True:
+            head = self._queue.get()
+            if head is _SHUTDOWN:
+                return
+            batch: List[_PendingRequest] = [head]  # type: ignore[list-item]
+            drain_until = time.monotonic() + max_wait
+            stop = False
+            while len(batch) < self.config.max_batch:
+                remaining = drain_until - time.monotonic()
+                try:
+                    nxt = (
+                        self._queue.get_nowait()
+                        if remaining <= 0
+                        else self._queue.get(timeout=remaining)
+                    )
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    stop = True
+                    break
+                batch.append(nxt)  # type: ignore[arg-type]
+            self._process_batch(batch)
+            if stop:
+                return
+
+    def _process_batch(self, batch: List[_PendingRequest]) -> None:
+        self.metrics.inc("batches")
+        self.metrics.inc("batched_requests", len(batch))
+        by_user: Dict[int, List[_PendingRequest]] = {}
+        for pending in batch:
+            by_user.setdefault(pending.user, []).append(pending)
+        for user, group in by_user.items():
+            try:
+                self._score_user_group(user, group)
+            except Exception as exc:  # noqa: BLE001 - reported per request
+                self.metrics.inc("errors", len(group))
+                logger.warning(
+                    "scoring failed for user %d (%d request(s)): %s",
+                    user, len(group), exc,
+                )
+                for pending in group:
+                    pending.fail(exc)
+
+    def _score_user_group(
+        self, user: int, group: List[_PendingRequest]
+    ) -> None:
+        """Answer all of one user's requests with one batched model call."""
+        now = time.monotonic()
+        expired = [
+            p for p in group if p.deadline is not None and now > p.deadline
+        ]
+        live = [p for p in group if p not in expired]
+        for pending in expired:
+            # Expired while queued: don't make it later still — serve
+            # the cheap fallback immediately.
+            self._resolve_fallback(pending)
+        if not live:
+            return
+        with self.store.lock:
+            sequence = self.store.get(user).sequence()
+        queries = [
+            Query(t=pending.t, candidates=pending.candidates)
+            for pending in live
+        ]
+        max_k = max(pending.k for pending in live)
+        start = time.perf_counter()
+        ranked_lists = self.model.recommend_batch(sequence, queries, max_k)
+        self.metrics.observe("scoring_latency", time.perf_counter() - start)
+        finished = time.monotonic()
+        for pending, ranked in zip(live, ranked_lists):
+            if pending.deadline is not None and finished > pending.deadline:
+                self._resolve_fallback(pending)
+            else:
+                pending.resolve(ranked[: pending.k], degraded=False)
+
+    def _resolve_fallback(self, pending: _PendingRequest) -> None:
+        """Answer from the Recency baseline computed off captured state."""
+        self.metrics.inc("deadline_fallbacks")
+        if pending.lasts is None:
+            # Deadline-less requests never reach here, but stay safe.
+            pending.resolve([], degraded=True)
+            return
+        scores = RecencyRecommender.scores_from_last_positions(
+            pending.lasts, pending.t
+        )
+        items = rank_top_k(
+            pending.candidates, scores, pending.k, owner="serving fallback"
+        )
+        logger.debug(
+            "request %s user=%d t=%d: deadline missed, served Recency "
+            "fallback", pending.request_id, pending.user, pending.t,
+        )
+        pending.resolve(items, degraded=True)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def state_fingerprint(self, user: int) -> str:
+        """Digest of one user's live session state (rehydrates if needed)."""
+        return self.store.state_fingerprint(int(user))
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Counters + latency histograms + session-cache stats, one dict."""
+        return self.metrics.as_dict(self.store.counters.as_dict())
+
+    def close(self) -> None:
+        """Stop the batching worker and seal the event log."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=30.0)
+        if self.event_log is not None:
+            self.event_log.close()
+        logger.info("service closed")
+
+    def __enter__(self) -> "RecommendService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def service_for_split(
+    model: Recommender,
+    split: SplitDataset,
+    event_log: Optional[EventLog] = None,
+    config: Optional[ServiceConfig] = None,
+    capacity: int = 1024,
+) -> RecommendService:
+    """Wire a service whose base histories are a split's training prefixes.
+
+    The canonical online/offline topology: sessions start from
+    ``split.train_sequence(user)`` and the held-out test suffix arrives
+    as live events, so replaying it through :meth:`RecommendService.step`
+    reproduces the offline evaluation protocol position for position.
+    """
+    config = config or ServiceConfig(n_items=split.n_items)
+
+    def history(user: int):
+        if 0 <= user < split.n_users:
+            return split.train_sequence(user)
+        return None
+
+    store = SessionStore(
+        config.window.window_size,
+        config.window.min_gap,
+        capacity=capacity,
+        history_provider=history,
+        event_source=(
+            event_log.events_for if event_log is not None else None
+        ),
+    )
+    return RecommendService(model, store, event_log=event_log, config=config)

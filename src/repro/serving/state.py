@@ -1,0 +1,382 @@
+"""Live per-user session state for the online serving layer.
+
+Offline, a :class:`~repro.engine.session.ScoringSession` walks a
+*pre-loaded* sequence; it cannot ingest a consumption event that was not
+known at construction. :class:`LiveSession` keeps the same window/Ω/
+recency bookkeeping over a *growable* history: :meth:`LiveSession.append`
+applies one live event with the exact O(1) dictionary updates of
+``ScoringSession.advance``, so after any number of appends the state is
+bit-identical (same multisets, same candidates, same last positions —
+asserted via the shared :func:`~repro.engine.session.fingerprint_state`
+digest) to a fresh offline session built over the concatenated history.
+
+:class:`SessionStore` keeps many live sessions resident under an LRU
+capacity bound. An evicted user is *transparently rehydrated* on next
+access: the base history is re-fetched from the dataset-side provider
+and the user's logged live events are replayed on top, reconstructing
+the evicted state exactly — eviction is invisible to correctness, it
+only costs latency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.data.sequence import ConsumptionSequence
+from repro.engine.session import fingerprint_state
+from repro.exceptions import DataError, ServingError
+
+#: Fetches one user's base (pre-serving) history, or ``None`` for a user
+#: unknown to the dataset (served cold, from live events only).
+HistoryProvider = Callable[[int], Optional[ConsumptionSequence]]
+
+
+class LiveSession:
+    """Window/Ω/recency state of one user, updatable one event at a time.
+
+    Parameters
+    ----------
+    user:
+        Dense user index.
+    window_size / min_gap:
+        The ``|W|`` / ``Ω`` protocol parameters; ``min_gap=0`` disables
+        the Ω-filter exactly as in :class:`ScoringSession`.
+    history:
+        Optional base history the session starts from; live events are
+        appended after it.
+    """
+
+    __slots__ = (
+        "user",
+        "window_size",
+        "min_gap",
+        "_items",
+        "_t",
+        "_window_counts",
+        "_recent_counts",
+        "_last_pos",
+        "_n_live",
+        "_sequence_cache",
+    )
+
+    def __init__(
+        self,
+        user: int,
+        window_size: int,
+        min_gap: int = 0,
+        history: Optional[ConsumptionSequence] = None,
+    ) -> None:
+        if window_size <= 0:
+            raise DataError(f"window_size must be positive, got {window_size}")
+        if min_gap < 0:
+            raise DataError(f"min_gap must be non-negative, got {min_gap}")
+        if history is not None and history.user != user:
+            raise DataError(
+                f"history belongs to user {history.user}, not {user}"
+            )
+        self.user = int(user)
+        self.window_size = window_size
+        self.min_gap = min_gap
+        items: List[int] = (
+            history.items.tolist() if history is not None else []
+        )
+        self._items = items
+        self._t = len(items)
+        # Same seeding as ScoringSession(start=len(history)): one forward
+        # pass over the prefix fills the three state dicts.
+        window_counts: Dict[int, int] = {}
+        for item in items[max(0, self._t - window_size):]:
+            window_counts[item] = window_counts.get(item, 0) + 1
+        recent_counts: Dict[int, int] = {}
+        if min_gap > 0:
+            for item in items[max(0, self._t - min_gap):]:
+                recent_counts[item] = recent_counts.get(item, 0) + 1
+        last_pos: Dict[int, int] = {}
+        for position, item in enumerate(items):
+            last_pos[item] = position
+        self._window_counts = window_counts
+        self._recent_counts = recent_counts
+        self._last_pos = last_pos
+        self._n_live = 0
+        self._sequence_cache: Optional[ConsumptionSequence] = None
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    @property
+    def t(self) -> int:
+        """Current position: state describes the window before ``t``."""
+        return self._t
+
+    @property
+    def n_live_events(self) -> int:
+        """Events appended since construction (= events needing replay)."""
+        return self._n_live
+
+    def append(self, item: int) -> int:
+        """Ingest one live consumption event; returns its position.
+
+        The update rule is ``ScoringSession.advance`` verbatim, except
+        the consumed item arrives from the outside instead of being read
+        from a pre-loaded sequence.
+        """
+        item = int(item)
+        if item < 0:
+            raise DataError(f"item indices must be non-negative, got {item}")
+        t = self._t
+        items = self._items
+        items.append(item)
+        self._last_pos[item] = t
+        window_counts = self._window_counts
+        window_counts[item] = window_counts.get(item, 0) + 1
+        tail = t - self.window_size
+        if tail >= 0:
+            leaving = items[tail]
+            remaining = window_counts[leaving] - 1
+            if remaining:
+                window_counts[leaving] = remaining
+            else:
+                del window_counts[leaving]
+        if self.min_gap > 0:
+            recent_counts = self._recent_counts
+            recent_counts[item] = recent_counts.get(item, 0) + 1
+            tail = t - self.min_gap
+            if tail >= 0:
+                leaving = items[tail]
+                remaining = recent_counts[leaving] - 1
+                if remaining:
+                    recent_counts[leaving] = remaining
+                else:
+                    del recent_counts[leaving]
+        self._t = t + 1
+        self._n_live += 1
+        self._sequence_cache = None
+        return t
+
+    # ------------------------------------------------------------------
+    # State accessors (contracts identical to ScoringSession's)
+    # ------------------------------------------------------------------
+    def window_length(self) -> int:
+        """Number of consumptions in the window before ``t``."""
+        return min(self._t, self.window_size)
+
+    def window_count(self, item: int) -> int:
+        """Occurrences of ``item`` in the window before ``t``."""
+        return self._window_counts.get(int(item), 0)
+
+    def window_counts_map(self) -> Dict[int, int]:
+        """The live item → window-count dict. Treat as read-only."""
+        return self._window_counts
+
+    def candidates(self) -> List[int]:
+        """The Ω-filtered RRC candidate set before ``t`` (sorted)."""
+        recent = self._recent_counts
+        if recent:
+            return sorted(
+                [item for item in self._window_counts if item not in recent]
+            )
+        return sorted(self._window_counts)
+
+    def last_position(self, item: int) -> int:
+        """``l_ut(v)`` — last occurrence strictly before ``t`` (-1 if never)."""
+        return self._last_pos.get(int(item), -1)
+
+    def last_positions(self, items) -> np.ndarray:
+        """Last occurrences before ``t`` for many items (-1 if never)."""
+        last_pos = self._last_pos
+        keys = items.tolist() if isinstance(items, np.ndarray) else items
+        return np.array(
+            [last_pos.get(int(key), -1) for key in keys], dtype=np.int64
+        )
+
+    def is_next_target(self, item: int) -> bool:
+        """Whether consuming ``item`` *now* would be an RRC target.
+
+        Mirrors ``ScoringSession.is_target``: the item repeats from the
+        window (gap ≤ ``window_size``) and was not consumed within the
+        last ``min_gap`` steps. The serving replay path uses this to
+        decide which stream positions get a recommendation, exactly as
+        the offline protocol's target filter.
+        """
+        last = self.last_position(item)
+        if last < 0:
+            return False
+        gap = self._t - last
+        return self.min_gap < gap <= self.window_size
+
+    def sequence(self) -> ConsumptionSequence:
+        """The full history (base + live events) as an immutable sequence.
+
+        Models score against this exact object, so the serving path and
+        the offline protocol feed kernels identical inputs. The O(n)
+        materialization is cached and invalidated by :meth:`append`.
+        """
+        if self._sequence_cache is None:
+            self._sequence_cache = ConsumptionSequence(self.user, self._items)
+        return self._sequence_cache
+
+    def state_fingerprint(self) -> str:
+        """Digest comparable with ``ScoringSession.state_fingerprint``."""
+        return fingerprint_state(
+            self.user,
+            self._t,
+            self.window_size,
+            self.min_gap,
+            self._window_counts,
+            self._recent_counts,
+            self._last_pos,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveSession(user={self.user}, t={self._t}, "
+            f"live={self._n_live}, window_size={self.window_size}, "
+            f"min_gap={self.min_gap})"
+        )
+
+
+class StoreCounters:
+    """Mutable hit/miss/eviction/rehydration tallies of one store."""
+
+    __slots__ = ("hits", "misses", "evictions", "rehydrations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rehydrations = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "rehydrations": self.rehydrations,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+class SessionStore:
+    """LRU-bounded cache of :class:`LiveSession` objects.
+
+    Parameters
+    ----------
+    window_size / min_gap:
+        Protocol parameters every session is built with.
+    capacity:
+        Maximum resident sessions; accessing a new user past capacity
+        evicts the least-recently-used one.
+    history_provider:
+        Fetches a user's base history on first access / rehydration.
+    event_source:
+        Optional callable ``user -> iterable of item ids`` returning the
+        user's *logged live events* in append order (the event log's
+        per-user replay view). Rehydration replays them on top of the
+        base history, so eviction never loses state — provided every
+        live event was logged before it was applied.
+
+    All public methods are thread-safe (one lock; sessions are only
+    mutated under it through :meth:`append`).
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        min_gap: int,
+        capacity: int = 1024,
+        history_provider: Optional[HistoryProvider] = None,
+        event_source: Optional[Callable[[int], List[int]]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ServingError(f"capacity must be >= 1, got {capacity}")
+        self.window_size = window_size
+        self.min_gap = min_gap
+        self.capacity = capacity
+        self.history_provider = history_provider
+        self.event_source = event_source
+        self.counters = StoreCounters()
+        self._sessions: "OrderedDict[int, LiveSession]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The store lock; the service holds it across capture points."""
+        return self._lock
+
+    def resident_users(self) -> List[int]:
+        """Users currently resident, least-recently-used first."""
+        with self._lock:
+            return list(self._sessions)
+
+    def get(self, user: int) -> LiveSession:
+        """The user's live session, rehydrating (and evicting) as needed."""
+        with self._lock:
+            session = self._sessions.get(user)
+            if session is not None:
+                self.counters.hits += 1
+                self._sessions.move_to_end(user)
+                return session
+            self.counters.misses += 1
+            session = self._build(user)
+            self._sessions[user] = session
+            while len(self._sessions) > self.capacity:
+                self._sessions.popitem(last=False)
+                self.counters.evictions += 1
+            return session
+
+    def append(self, user: int, item: int) -> int:
+        """Apply one live event to the user's session; returns position.
+
+        When the event is also being written to the log that backs
+        ``event_source``, materialize the session (``get``) *before* the
+        log write: a first access afterwards would replay the new event
+        during the rebuild and then apply it a second time here.
+        """
+        with self._lock:
+            return self.get(user).append(item)
+
+    def evict(self, user: int) -> bool:
+        """Explicitly drop a user's resident session (testing/ops hook)."""
+        with self._lock:
+            if self._sessions.pop(user, None) is None:
+                return False
+            self.counters.evictions += 1
+            return True
+
+    def state_fingerprint(self, user: int) -> str:
+        """Digest of the user's (possibly rehydrated) session state."""
+        with self._lock:
+            return self.get(user).state_fingerprint()
+
+    def _build(self, user: int) -> LiveSession:
+        """Rebuild a session: base history + replay of logged events."""
+        history = (
+            self.history_provider(user)
+            if self.history_provider is not None
+            else None
+        )
+        session = LiveSession(
+            user, self.window_size, self.min_gap, history=history
+        )
+        if self.event_source is not None:
+            replayed = 0
+            for item in self.event_source(user):
+                session.append(item)
+                replayed += 1
+            if replayed:
+                self.counters.rehydrations += 1
+        return session
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionStore(resident={len(self._sessions)}, "
+            f"capacity={self.capacity})"
+        )

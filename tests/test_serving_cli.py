@@ -1,0 +1,179 @@
+"""The serving CLI: parser wiring, replay end-to-end, mount points.
+
+``serve`` blocks on a socket, so its end-to-end path is exercised via
+the server tests; here we verify the argument surface (both the
+standalone ``repro-serve`` parser and the subcommands mounted on
+``repro-experiments``) and run ``replay`` for real against a log
+produced by a live service.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cli as experiments_cli
+from repro.config import WindowConfig
+from repro.models.recency import RecencyRecommender
+from repro.serving.cli import (
+    DATASET_CHOICES,
+    MODEL_CHOICES,
+    build_model,
+    build_parser,
+    build_split,
+    main,
+)
+from repro.serving.events import EventLog
+from repro.serving.service import ServiceConfig, service_for_split
+
+
+class TestParser:
+    def test_serve_defaults(self) -> None:
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.model == "recency"
+        assert args.dataset == "gowalla"
+        assert args.port == 8423
+        assert args.capacity == 1024
+        assert args.max_batch == 64
+        assert args.event_log is None
+        assert args.deadline_ms is None
+
+    def test_serve_overrides(self, tmp_path) -> None:
+        args = build_parser().parse_args(
+            [
+                "--log-level", "debug",
+                "serve",
+                "--model", "tsppr",
+                "--dataset", "lastfm",
+                "--port", "0",
+                "--event-log", str(tmp_path / "e.log"),
+                "--max-batch", "8",
+                "--max-wait-ms", "0.5",
+                "--deadline-ms", "25",
+                "--capacity", "16",
+                "--max-epochs", "100",
+                "--seed", "11",
+            ]
+        )
+        assert args.log_level == "debug"
+        assert args.model == "tsppr"
+        assert args.dataset == "lastfm"
+        assert args.max_batch == 8
+        assert args.deadline_ms == 25.0
+
+    def test_replay_requires_event_log(self, capsys) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay"])
+        assert "--event-log" in capsys.readouterr().err
+
+    def test_rejects_unknown_model(self, capsys) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--model", "svd"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_log_level_errors(self, tmp_path, capsys) -> None:
+        with pytest.raises(SystemExit):
+            main(
+                ["--log-level", "shouty", "replay", "--event-log",
+                 str(tmp_path / "none.log")]
+            )
+
+    def test_mounted_on_experiments_cli(self, tmp_path) -> None:
+        """repro-experiments gained the same serve/replay subcommands."""
+        parser = experiments_cli.build_parser()
+        args = parser.parse_args(["serve", "--model", "pop", "--port", "0"])
+        assert args.command == "serve"
+        assert args.model == "pop"
+        args = parser.parse_args(
+            ["replay", "--event-log", str(tmp_path / "e.log")]
+        )
+        assert args.command == "replay"
+
+    def test_choices_cover_bundled_models(self) -> None:
+        assert set(MODEL_CHOICES) == {"recency", "pop", "tsppr", "ppr", "fpmc"}
+        assert set(DATASET_CHOICES) == {"gowalla", "lastfm"}
+
+
+class TestBuilders:
+    def test_build_split_is_seeded(self) -> None:
+        one = build_split("gowalla", seed=3)
+        two = build_split("gowalla", seed=3)
+        assert one.n_users == two.n_users
+        assert one.n_items == two.n_items
+
+    def test_build_model_baselines(self) -> None:
+        split = build_split("gowalla", seed=3)
+        assert build_model("recency", split, max_epochs=10, seed=1).is_fitted
+        assert build_model("pop", split, max_epochs=10, seed=1).is_fitted
+
+
+class TestReplayEndToEnd:
+    def test_replay_reports_fingerprints(self, tmp_path, capsys) -> None:
+        """replay prints exactly what a recovering server rebuilds."""
+        seed = 7
+        split = build_split("gowalla", seed)
+        model = RecencyRecommender().fit(split)
+        log = EventLog.open(tmp_path / "events.log")
+        config = ServiceConfig(n_items=split.n_items)
+        with service_for_split(
+            model, split, event_log=log, config=config
+        ) as service:
+            for user in (0, 1):
+                boundary = split.train_boundary(user)
+                for item in split.full_sequence(user).items[
+                    boundary:boundary + 10
+                ].tolist():
+                    service.ingest(user, item)
+            expected = {u: service.state_fingerprint(u) for u in (0, 1)}
+        code = main(
+            ["--log-level", "warning", "replay",
+             "--event-log", str(tmp_path / "events.log"), "--seed", str(seed)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "20 committed event(s), 2 user(s)" in out
+        for user, fingerprint in expected.items():
+            assert f"user {user}: replayed 10 event(s)" in out
+            assert fingerprint in out
+
+    def test_replay_single_user_filter(self, tmp_path, capsys) -> None:
+        split = build_split("gowalla", 7)
+        model = RecencyRecommender().fit(split)
+        log = EventLog.open(tmp_path / "events.log")
+        with service_for_split(
+            model, split, event_log=log,
+            config=ServiceConfig(n_items=split.n_items),
+        ) as service:
+            service.ingest(0, 1)
+            service.ingest(1, 2)
+        code = main(
+            ["--log-level", "warning", "replay",
+             "--event-log", str(tmp_path / "events.log"), "--user", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "user 1:" in out
+        assert "user 0:" not in out
+
+    def test_replay_missing_log_fails(self, tmp_path, capsys) -> None:
+        code = main(
+            ["--log-level", "warning", "replay",
+             "--event-log", str(tmp_path / "missing.log")]
+        )
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_replay_does_not_mutate_log(self, tmp_path) -> None:
+        """Inspection is read-only: same bytes before and after."""
+        split = build_split("gowalla", 7)
+        model = RecencyRecommender().fit(split)
+        log_path = tmp_path / "events.log"
+        log = EventLog.open(log_path)
+        with service_for_split(
+            model, split, event_log=log,
+            config=ServiceConfig(n_items=split.n_items),
+        ) as service:
+            service.ingest(0, 1)
+        before = log_path.read_bytes()
+        main(["--log-level", "warning", "replay", "--event-log", str(log_path)])
+        assert log_path.read_bytes() == before

@@ -1,0 +1,225 @@
+"""EventLog durability contracts: replay, torn tails, corruption, sealing.
+
+The recovery semantics under test distinguish the two failure modes a
+write-ahead log must tell apart: a torn tail (expected — the crash cut
+the final record short; the event never committed) is silently dropped,
+while interior corruption or a log shorter than its sealed manifest
+(data loss) raises :class:`~repro.exceptions.DataError` loudly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.resilience.faults import FaultInjected, FaultInjector
+from repro.serving.events import (
+    EVENT_LOG_VERSION,
+    Event,
+    EventLog,
+    _parse_line,
+    _payload_crc,
+)
+
+
+@pytest.fixture()
+def log_path(tmp_path):
+    return tmp_path / "events.log"
+
+
+class TestRecordFormat:
+    def test_line_round_trip(self) -> None:
+        event = Event(seq=17, user=3, item=42)
+        line = event.to_line()
+        assert line.endswith("\n")
+        record = json.loads(line)
+        assert record == {
+            "seq": 17,
+            "user": 3,
+            "item": 42,
+            "crc": _payload_crc(17, 3, 42),
+        }
+        assert _parse_line(line.rstrip("\n")) == event
+
+    def test_parse_rejects_bad_crc(self) -> None:
+        line = Event(seq=0, user=1, item=2).to_line().rstrip("\n")
+        tampered = line.replace('"item":2', '"item":3')
+        assert _parse_line(tampered) is None
+
+    def test_parse_rejects_garbage(self) -> None:
+        assert _parse_line("not json") is None
+        assert _parse_line('{"seq": 1}') is None
+        assert _parse_line("") is None
+
+
+class TestAppendReplay:
+    def test_append_assigns_contiguous_seq(self, log_path) -> None:
+        with EventLog.open(log_path) as log:
+            events = [log.append(user, item) for user, item in
+                      [(0, 5), (1, 7), (0, 5), (2, 9)]]
+        assert [event.seq for event in events] == [0, 1, 2, 3]
+
+    def test_reopen_replays_everything(self, log_path) -> None:
+        stream = [(0, 5), (1, 7), (0, 6), (1, 7), (0, 5)]
+        with EventLog.open(log_path) as log:
+            for user, item in stream:
+                log.append(user, item)
+        reopened = EventLog.open(log_path)
+        assert len(reopened) == len(stream)
+        assert [(e.user, e.item) for e in reopened.iter_events()] == stream
+        assert reopened.events_for(0) == [5, 6, 5]
+        assert reopened.events_for(1) == [7, 7]
+        assert reopened.events_for(99) == []
+        assert reopened.users() == [0, 1]
+        # Appends continue the sequence.
+        assert reopened.append(3, 1).seq == len(stream)
+        reopened.close()
+
+    def test_validation(self, log_path) -> None:
+        log = EventLog.open(log_path)
+        with pytest.raises(DataError, match="non-negative"):
+            log.append(-1, 0)
+        with pytest.raises(DataError, match="non-negative"):
+            log.append(0, -1)
+        log.close()
+        with pytest.raises(DataError, match="not open"):
+            log.append(0, 0)
+        with pytest.raises(DataError, match="fsync_every"):
+            EventLog(log_path, fsync_every=0)
+
+    def test_fsync_batching_still_commits(self, log_path) -> None:
+        with EventLog.open(log_path, fsync_every=10) as log:
+            for item in range(5):
+                log.append(0, item)
+        assert EventLog.open(log_path).events_for(0) == [0, 1, 2, 3, 4]
+
+
+class TestTornTail:
+    def write_committed(self, log_path, n=3) -> None:
+        with EventLog.open(log_path) as log:
+            for item in range(n):
+                log.append(0, item)
+
+    def test_truncated_final_record_discarded(self, log_path) -> None:
+        self.write_committed(log_path)
+        log_path.with_name(log_path.name + ".manifest.json").unlink()
+        with log_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq":3,"user":0,"it')  # cut mid-write, no \n
+        log = EventLog.open(log_path)
+        assert len(log) == 3
+        assert log.n_discarded_tail == 1
+        # Recovery truncated the torn bytes: appends restart cleanly.
+        event = log.append(0, 99)
+        assert event.seq == 3
+        log.close()
+        assert EventLog.open(log_path).events_for(0) == [0, 1, 2, 99]
+
+    def test_corrupt_final_complete_line_discarded(self, log_path) -> None:
+        """The newline made it out but the payload tore: still a tail."""
+        self.write_committed(log_path)
+        log_path.with_name(log_path.name + ".manifest.json").unlink()
+        with log_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq":3,"user":0,"item":1,"crc":"00000000"}\n')
+        log = EventLog.open(log_path)
+        assert len(log) == 3
+        assert log.n_discarded_tail == 1
+
+    def test_readonly_does_not_truncate_or_seal(self, log_path) -> None:
+        self.write_committed(log_path)
+        manifest = log_path.with_name(log_path.name + ".manifest.json")
+        manifest.unlink()
+        with log_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        size_before = log_path.stat().st_size
+        log = EventLog.open(log_path, readonly=True)
+        assert len(log) == 3
+        assert log.n_discarded_tail == 1
+        log.close()
+        assert log_path.stat().st_size == size_before  # bytes untouched
+        assert not manifest.exists()  # no seal written
+        with pytest.raises(DataError, match="not open"):
+            log.append(0, 0)
+
+
+class TestInteriorCorruption:
+    def test_bad_record_before_valid_ones_raises(self, log_path) -> None:
+        lines = [Event(seq=i, user=0, item=i).to_line() for i in range(3)]
+        lines[1] = '{"seq":1,"user":0,"item":1,"crc":"deadbeef"}\n'
+        log_path.write_text("".join(lines))
+        with pytest.raises(DataError, match="corrupt event record"):
+            EventLog.open(log_path)
+
+    def test_non_contiguous_seq_raises(self, log_path) -> None:
+        lines = [
+            Event(seq=0, user=0, item=1).to_line(),
+            Event(seq=2, user=0, item=2).to_line(),  # 1 is missing
+        ]
+        log_path.write_text("".join(lines))
+        with pytest.raises(DataError, match="non-contiguous"):
+            EventLog.open(log_path)
+
+
+class TestManifest:
+    def test_seal_records_length(self, log_path) -> None:
+        with EventLog.open(log_path) as log:
+            for item in range(4):
+                log.append(1, item)
+        manifest = json.loads(
+            log_path.with_name(log_path.name + ".manifest.json").read_text()
+        )
+        assert manifest["version"] == EVENT_LOG_VERSION
+        assert manifest["n_records"] == 4
+        assert manifest["log"] == log_path.name
+
+    def test_log_shorter_than_seal_raises(self, log_path) -> None:
+        with EventLog.open(log_path) as log:
+            for item in range(4):
+                log.append(1, item)
+        # Lose a committed record behind the manifest's back.
+        lines = log_path.read_text().splitlines(keepends=True)
+        log_path.write_text("".join(lines[:-1]))
+        with pytest.raises(DataError, match="committed events were lost"):
+            EventLog.open(log_path)
+
+    def test_unsupported_version_raises(self, log_path) -> None:
+        EventLog.open(log_path).close()
+        manifest = log_path.with_name(log_path.name + ".manifest.json")
+        manifest.write_text(json.dumps({"version": 99, "n_records": 0}))
+        with pytest.raises(DataError, match="unsupported event-log version"):
+            EventLog.open(log_path)
+
+    def test_corrupt_manifest_raises(self, log_path) -> None:
+        EventLog.open(log_path).close()
+        manifest = log_path.with_name(log_path.name + ".manifest.json")
+        manifest.write_text("{not json")
+        with pytest.raises(DataError, match="corrupt event-log manifest"):
+            EventLog.open(log_path)
+
+
+class TestFaultInjection:
+    def test_crash_on_write_commits_nothing(self, log_path) -> None:
+        """The fault fires before the write: the event must not appear."""
+        injector = FaultInjector(crash_on_write=3)
+        log = EventLog.open(log_path, fault_injector=injector)
+        committed = []
+        with pytest.raises(FaultInjected):
+            for item in range(10):
+                log.append(0, item)
+                committed.append(item)
+        assert committed == [0, 1]  # third write died
+        # Simulated restart: only the committed prefix replays.
+        assert EventLog.open(log_path).events_for(0) == [0, 1]
+
+    def test_deterministic_injection_point(self, log_path) -> None:
+        for attempt in range(2):
+            path = log_path.with_name(f"attempt{attempt}.log")
+            injector = FaultInjector(crash_on_write=5)
+            log = EventLog.open(path, fault_injector=injector)
+            n = 0
+            with pytest.raises(FaultInjected):
+                while True:
+                    log.append(0, n)
+                    n += 1
+            assert n == 4

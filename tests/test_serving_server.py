@@ -1,0 +1,173 @@
+"""HTTP transport round-trips: server routes, client, error mapping.
+
+Every test binds to an ephemeral port (``port=0``) so the suite can run
+in parallel and on busy machines. The server under test fronts a real
+:class:`RecommendService` over the Recency model, so these are true
+end-to-end round-trips: socket → handler → micro-batch queue → model →
+JSON reply.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from conftest import SMALL_WINDOW
+
+from repro.config import WindowConfig
+from repro.data.split import SplitDataset
+from repro.exceptions import ServingError
+from repro.models.recency import RecencyRecommender
+from repro.serving import (
+    RecommendServer,
+    ServiceConfig,
+    ServingClient,
+    service_for_split,
+)
+
+
+@pytest.fixture()
+def served(gowalla_split: SplitDataset):
+    """A running ephemeral-port server + client over Recency."""
+    model = RecencyRecommender().fit(gowalla_split, SMALL_WINDOW)
+    config = ServiceConfig(window=SMALL_WINDOW, n_items=gowalla_split.n_items)
+    service = service_for_split(model, gowalla_split, config=config)
+    server = RecommendServer(service, port=0).start()
+    try:
+        yield server, ServingClient(server.url), gowalla_split
+    finally:
+        server.close()
+
+
+class TestRoutes:
+    def test_healthz(self, served) -> None:
+        _, client, _ = served
+        assert client.health()
+
+    def test_event_then_recommend_round_trip(self, served) -> None:
+        server, client, split = served
+        user = 0
+        boundary = split.train_boundary(user)
+        item = int(split.full_sequence(user).items[boundary])
+        assert client.ingest(user, item) == boundary
+        reply = client.recommend(user, k=5)
+        assert reply["user"] == user
+        assert reply["t"] == boundary + 1
+        assert isinstance(reply["items"], list)
+        assert len(reply["items"]) <= 5
+        assert reply["degraded"] is False
+        assert reply["request_id"].startswith("r")
+        assert reply["latency_ms"] >= 0
+        # recommend_items strips the envelope; state is unchanged, so a
+        # repeated request returns the same ranking.
+        assert client.recommend_items(user, k=5) == [
+            int(i) for i in reply["items"]
+        ]
+        # And the answer matches calling the service directly.
+        direct = server.service.recommend(user, k=5)
+        assert direct.items == [int(i) for i in reply["items"]]
+
+    def test_metrics_endpoint(self, served) -> None:
+        _, client, split = served
+        client.ingest(0, int(split.full_sequence(0).items[0]))
+        client.recommend(0, k=3)
+        snapshot = client.metrics()
+        assert snapshot["counters"]["events"] >= 1
+        assert snapshot["counters"]["requests"] >= 1
+        assert "request_latency" in snapshot["latency"]
+        assert "session_cache" in snapshot
+
+    def test_unknown_routes_404(self, served) -> None:
+        server, client, _ = served
+        with pytest.raises(ServingError, match="HTTP 404"):
+            client._request("/nope")
+        with pytest.raises(ServingError, match="HTTP 404"):
+            client._request("/nope", {"user": 0})
+
+
+class TestErrorMapping:
+    def test_missing_field_is_400(self, served) -> None:
+        _, client, _ = served
+        with pytest.raises(ServingError, match="missing required field"):
+            client._request("/events", {"user": 0})
+
+    def test_non_integer_field_is_400(self, served) -> None:
+        _, client, _ = served
+        with pytest.raises(ServingError, match="must be an integer"):
+            client._request("/events", {"user": 0, "item": "many"})
+
+    def test_vocabulary_violation_is_400(self, served) -> None:
+        _, client, split = served
+        with pytest.raises(ServingError, match="vocabulary"):
+            client.ingest(0, split.n_items + 50)
+
+    def test_non_object_body_is_400(self, served) -> None:
+        server, _, _ = served
+        request = urllib.request.Request(
+            f"{server.url}/events",
+            data=json.dumps([1, 2]).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc_info.value.code == 400
+
+    def test_malformed_json_is_400(self, served) -> None:
+        server, _, _ = served
+        request = urllib.request.Request(
+            f"{server.url}/events",
+            data=b"{oops",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc_info.value.code == 400
+
+    def test_unreachable_server(self) -> None:
+        client = ServingClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServingError, match="cannot reach"):
+            client.ingest(0, 0)
+        assert client.health() is False
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolved(self, served) -> None:
+        server, _, _ = served
+        host, port = server.address
+        assert port != 0
+        assert server.url == f"http://{host}:{port}"
+
+    def test_close_is_idempotent_and_final(
+        self, gowalla_split: SplitDataset
+    ) -> None:
+        model = RecencyRecommender().fit(gowalla_split, SMALL_WINDOW)
+        config = ServiceConfig(
+            window=SMALL_WINDOW, n_items=gowalla_split.n_items
+        )
+        service = service_for_split(model, gowalla_split, config=config)
+        server = RecommendServer(service, port=0).start()
+        url = server.url
+        server.close()
+        client = ServingClient(url, timeout=0.5)
+        assert client.health() is False
+        # The underlying service refuses new work once closed.
+        with pytest.raises(ServingError, match="closed"):
+            service.recommend(0)
+
+    def test_two_servers_can_coexist(self, gowalla_split: SplitDataset) -> None:
+        model = RecencyRecommender().fit(gowalla_split, SMALL_WINDOW)
+        config = ServiceConfig(
+            window=SMALL_WINDOW, n_items=gowalla_split.n_items
+        )
+        with RecommendServer(
+            service_for_split(model, gowalla_split, config=config), port=0
+        ).start() as one, RecommendServer(
+            service_for_split(model, gowalla_split, config=config), port=0
+        ).start() as two:
+            assert one.address != two.address
+            assert ServingClient(one.url).health()
+            assert ServingClient(two.url).health()
