@@ -1,0 +1,236 @@
+"""Bench: cluster scaling (1/2/4 shards) and tail latency under restart.
+
+Two measurements, both recorded to ``BENCH_cluster.json``:
+
+* **Scaling** — aggregate request throughput with smart clients talking
+  straight to the owning shards (ring-routed, no router hop) at 1, 2,
+  and 4 worker processes. On a machine with enough cores the 4-shard
+  configuration must reach **>= 3x** the single-shard throughput
+  (near-linear); on smaller machines (CI containers pinned to a core or
+  two) the numbers are recorded but the ratio is not asserted — worker
+  processes cannot scale past the physical cores they share.
+* **Restart tail** — p99 client-observed latency through the router
+  while one of 4 shards is SIGKILLed mid-run and restarted from its
+  WAL. No request may error: reads degrade, writes are held; the p99
+  quantifies what that grace costs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterRouter, RUNNING, ShardSupervisor
+from repro.config import WindowConfig
+from repro.data.split import temporal_split
+from repro.models.recency import RecencyRecommender
+from repro.resilience.faults import ProcessFaultInjector
+from repro.serving import ServiceConfig, ServingClient
+from repro.synth.gowalla import generate_gowalla
+
+pytestmark = pytest.mark.bench
+
+BENCH_WINDOW = WindowConfig(window_size=25, min_gap=2)
+SHARD_COUNTS = (1, 2, 4)
+N_THREADS = 4
+MEASURE_S = 2.5
+#: Near-linear scaling needs real parallelism: 4 workers + supervisor +
+#: the driving client want ~5 cores before the assertion is meaningful.
+MIN_CORES_FOR_ASSERT = 5
+
+
+@pytest.fixture(scope="module")
+def bench_split():
+    return temporal_split(
+        generate_gowalla(random_state=47, user_factor=0.5, length_factor=0.6)
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_model(bench_split):
+    return RecencyRecommender().fit(bench_split, BENCH_WINDOW)
+
+
+def make_supervisor(split, model, tmp_path, n_shards) -> ShardSupervisor:
+    config = ServiceConfig(window=BENCH_WINDOW, n_items=split.n_items)
+    return ShardSupervisor(
+        split,
+        model,
+        config,
+        n_shards=n_shards,
+        run_dir=tmp_path / f"cluster{n_shards}",
+        heartbeat_interval_s=0.1,
+        heartbeat_timeout_s=0.5,
+        max_missed_heartbeats=3,
+    )
+
+
+def drive_direct(split, supervisor, duration_s) -> float:
+    """Smart-client load: each thread routes by ring, no router hop.
+
+    Returns aggregate completed requests per second (ingest+recommend
+    pairs both count — they are both served requests).
+    """
+    users = list(range(split.n_users))
+    counts = [0] * N_THREADS
+    stop = threading.Event()
+
+    def worker(index: int) -> None:
+        mine = users[index::N_THREADS]
+        clients: Dict[str, ServingClient] = {
+            name: ServingClient(supervisor.url_of(name), timeout=30.0)
+            for name in supervisor.shard_names()
+        }
+        round_no = 0
+        while not stop.is_set():
+            for user in mine:
+                client = clients[supervisor.ring.owner(user)]
+                client.ingest(user, (user * 11 + round_no) % split.n_items)
+                client.recommend(user, k=10)
+                counts[index] += 2
+            round_no += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(duration_s)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    elapsed = time.perf_counter() - start
+    return sum(counts) / elapsed
+
+
+def test_bench_cluster_scaling(bench_split, bench_model, tmp_path, bench_record):
+    throughput: Dict[int, float] = {}
+    for n_shards in SHARD_COUNTS:
+        supervisor = make_supervisor(
+            bench_split, bench_model, tmp_path, n_shards
+        )
+        supervisor.start()
+        try:
+            throughput[n_shards] = drive_direct(
+                bench_split, supervisor, MEASURE_S
+            )
+        finally:
+            supervisor.close()
+
+    scaling = throughput[4] / throughput[1]
+    cores = os.cpu_count() or 1
+    report = "; ".join(
+        f"{n} shard(s): {throughput[n]:.0f} req/s" for n in SHARD_COUNTS
+    )
+    report += f"; 4-shard scaling {scaling:.2f}x on {cores} core(s)"
+    print()
+    print(report)
+
+    for n_shards in SHARD_COUNTS:
+        bench_record(
+            "cluster",
+            f"shards_{n_shards}",
+            requests_per_s=round(throughput[n_shards], 1),
+            threads=N_THREADS,
+            measure_s=MEASURE_S,
+        )
+    bench_record(
+        "cluster",
+        "scaling",
+        speedup_4x=round(scaling, 3),
+        cores=cores,
+        asserted=cores >= MIN_CORES_FOR_ASSERT,
+    )
+
+    if cores >= MIN_CORES_FOR_ASSERT:
+        assert scaling >= 3.0, report
+
+
+def test_bench_cluster_restart_tail(
+    bench_split, bench_model, tmp_path, bench_record
+):
+    """p99 through the router while a shard dies and replays its WAL."""
+    supervisor = make_supervisor(bench_split, bench_model, tmp_path / "r", 4)
+    supervisor.start()
+    router = ClusterRouter(
+        supervisor, port=0, event_retry_deadline_s=120.0
+    ).start()
+    users = list(range(bench_split.n_users))
+    latencies: List[float] = []
+    lock = threading.Lock()
+    errors: List[str] = []
+    degraded = [0]
+    stop = threading.Event()
+
+    def worker(index: int) -> None:
+        client = ServingClient(router.url, timeout=60.0)
+        mine = users[index::N_THREADS]
+        round_no = 0
+        try:
+            while not stop.is_set():
+                for user in mine:
+                    begin = time.perf_counter()
+                    client.ingest(
+                        user, (user * 11 + round_no) % bench_split.n_items
+                    )
+                    reply = client.recommend(user, k=10)
+                    took = time.perf_counter() - begin
+                    with lock:
+                        latencies.append(took)
+                        if reply["degraded"]:
+                            degraded[0] += 1
+                round_no += 1
+        except Exception as exc:  # noqa: BLE001 - the assertion target
+            errors.append(repr(exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        time.sleep(1.0)
+        victim = supervisor.ring.owner(users[0])
+        ProcessFaultInjector().kill(supervisor.pid_of(victim))
+        time.sleep(3.0)  # ride through detection, replay, readmission
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=300.0)
+
+        assert errors == [], f"requests errored during restart: {errors}"
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if supervisor.states()[victim] == RUNNING:
+                break
+            time.sleep(0.1)
+        assert supervisor.states()[victim] == RUNNING
+        assert supervisor.restart_counts()[victim] >= 1
+
+        values = np.asarray(latencies, dtype=np.float64) * 1e3
+        p99 = float(np.percentile(values, 99))
+        report = (
+            f"restart tail: {len(latencies)} ingest+recommend pairs, "
+            f"p50 {float(np.percentile(values, 50)):.1f}ms, "
+            f"p99 {p99:.1f}ms, {degraded[0]} degraded answer(s)"
+        )
+        print()
+        print(report)
+        bench_record(
+            "cluster",
+            "restart_tail",
+            pairs=len(latencies),
+            p50_ms=round(float(np.percentile(values, 50)), 2),
+            p99_ms=round(p99, 2),
+            degraded_answers=degraded[0],
+            shards=4,
+        )
+    finally:
+        stop.set()
+        router.close()
+        supervisor.close()

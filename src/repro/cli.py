@@ -46,8 +46,10 @@ from repro.experiments.registry import (
 from repro.logging_utils import enable_console_logging, get_logger
 from repro.resilience.journal import RunJournal
 from repro.serving.cli import (
+    add_cluster_arguments,
     add_replay_arguments,
     add_serve_arguments,
+    run_cluster,
     run_replay,
     run_serve,
 )
@@ -81,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="rebuild serving state from an event log"
     )
     add_replay_arguments(replay_parser)
+    cluster_parser = subparsers.add_parser(
+        "cluster", help="run the sharded serving cluster behind one router"
+    )
+    add_cluster_arguments(cluster_parser)
 
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument(
@@ -272,6 +278,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_serve(args)
     if args.command == "replay":
         return run_replay(args)
+    if args.command == "cluster":
+        return run_cluster(args)
 
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")

@@ -1,0 +1,51 @@
+"""Fault-tolerant sharded serving: ring, workers, supervisor, router.
+
+Scales the single-node serving stack (:mod:`repro.serving`) across N
+worker processes while keeping its correctness contract — bit-identical
+session state, WAL-backed durability — *per shard*:
+
+* :mod:`repro.cluster.ring` — consistent hashing of users onto shards
+  (:class:`HashRing`), deterministic and minimal-movement.
+* :mod:`repro.cluster.worker` — the per-shard process entry point
+  (:func:`run_worker`): a private session store + event log + HTTP
+  listener, publishing its endpoint atomically.
+* :mod:`repro.cluster.supervisor` — :class:`ShardSupervisor`:
+  heartbeat monitoring, crash detection, WAL-replay restarts proven
+  bit-identical via state fingerprints before ring readmission, and
+  drain/rebalance by event migration.
+* :mod:`repro.cluster.router` — :class:`ClusterRouter`: the single
+  front-end address; forwards with timeouts + idempotent retries,
+  merges ``/metrics`` exactly, and degrades ``/recommend`` to the
+  Recency baseline while a shard restarts instead of erroring.
+"""
+
+from repro.cluster.ring import HashRing, moved_users
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import (
+    DEGRADED,
+    DRAINING,
+    FAILED,
+    PENDING,
+    RUNNING,
+    STOPPED,
+    ShardSupervisor,
+    WorkerHandle,
+)
+from repro.cluster.worker import WorkerSpec, read_endpoint, run_worker
+
+__all__ = [
+    "DEGRADED",
+    "DRAINING",
+    "FAILED",
+    "PENDING",
+    "RUNNING",
+    "STOPPED",
+    "ClusterRouter",
+    "HashRing",
+    "ShardSupervisor",
+    "WorkerHandle",
+    "WorkerSpec",
+    "moved_users",
+    "read_endpoint",
+    "run_worker",
+]

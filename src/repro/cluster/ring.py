@@ -1,0 +1,116 @@
+"""Consistent hashing of users onto shards.
+
+The cluster partitions users across worker processes with a classic
+consistent-hash ring: every shard owns ``vnodes`` points on a 64-bit
+circle (sha256 of ``"<shard>#<vnode>"``), and a user belongs to the
+shard owning the first point at or after the user's own hash. Two
+properties matter operationally:
+
+* **Determinism.** Ownership is a pure function of (shard names,
+  vnodes, user id) — router, supervisor, smart clients, and tests all
+  compute the same owner with no coordination.
+* **Minimal movement.** Removing a shard (crash, drain) reassigns only
+  *that shard's* users, spread over the survivors; every other user
+  stays put. :meth:`HashRing.without` builds the shrunken ring and
+  :func:`moved_users` reports exactly who must migrate — which is the
+  drain/rebalance work list.
+
+Rings are immutable; membership changes build new rings, so a router
+can swap its ring atomically under one reference assignment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ServingError
+
+
+def _point(key: str) -> int:
+    """64-bit position of ``key`` on the hash circle."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Immutable consistent-hash ring mapping user ids to shard names."""
+
+    def __init__(self, shards: Sequence[str], vnodes: int = 64) -> None:
+        names = list(shards)
+        if not names:
+            raise ServingError("a hash ring needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ServingError(f"duplicate shard names in {names}")
+        if vnodes < 1:
+            raise ServingError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards: Tuple[str, ...] = tuple(sorted(names))
+        self.vnodes = int(vnodes)
+        points: List[Tuple[int, str]] = []
+        for shard in self.shards:
+            for vnode in range(self.vnodes):
+                points.append((_point(f"{shard}#{vnode}"), shard))
+        points.sort()
+        self._points = points
+        self._keys = [point for point, _ in points]
+
+    def owner(self, user: int) -> str:
+        """The shard owning ``user`` — first ring point at/after its hash."""
+        position = _point(f"user:{int(user)}")
+        index = bisect.bisect_left(self._keys, position)
+        if index == len(self._keys):
+            index = 0
+        return self._points[index][1]
+
+    def without(self, shard: str) -> "HashRing":
+        """The ring with ``shard`` removed (drain/failure topology)."""
+        if shard not in self.shards:
+            raise ServingError(f"shard {shard!r} is not on the ring")
+        survivors = [name for name in self.shards if name != shard]
+        return HashRing(survivors, vnodes=self.vnodes)
+
+    def with_shard(self, shard: str) -> "HashRing":
+        """The ring with ``shard`` added (scale-out topology)."""
+        if shard in self.shards:
+            raise ServingError(f"shard {shard!r} is already on the ring")
+        return HashRing([*self.shards, shard], vnodes=self.vnodes)
+
+    def assignment(self, users: Iterable[int]) -> Dict[str, List[int]]:
+        """Group ``users`` by owning shard (every shard gets a key)."""
+        groups: Dict[str, List[int]] = {shard: [] for shard in self.shards}
+        for user in users:
+            groups[self.owner(user)].append(int(user))
+        return groups
+
+    def __contains__(self, shard: object) -> bool:
+        return shard in self.shards
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HashRing)
+            and self.shards == other.shards
+            and self.vnodes == other.vnodes
+        )
+
+    def __repr__(self) -> str:
+        return f"HashRing(shards={list(self.shards)}, vnodes={self.vnodes})"
+
+
+def moved_users(
+    before: HashRing, after: HashRing, users: Iterable[int]
+) -> List[int]:
+    """Users whose owner differs between two rings — the migration set.
+
+    For a pure removal this is exactly the removed shard's users
+    (consistent hashing moves nobody else); asserted by the ring tests.
+    """
+    return [
+        int(user)
+        for user in users
+        if before.owner(user) != after.owner(user)
+    ]

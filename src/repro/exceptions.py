@@ -58,3 +58,14 @@ class ExperimentError(ReproError):
 
 class ServingError(ReproError):
     """The online serving layer received an invalid request or reply."""
+
+
+class ServingUnavailableError(ServingError):
+    """A serving endpoint could not be reached (or timed out).
+
+    Distinct from :class:`ServingError` proper — the request never
+    produced a server-side answer, so (idempotent) retries are safe.
+    Raised by :class:`~repro.serving.client.ServingClient` for
+    connection failures and timeouts, and by the cluster router when a
+    shard stays unreachable past its retry budget.
+    """

@@ -13,7 +13,9 @@ survive crashes:
   per-experiment status book behind ``repro-experiments run --resume``.
 * :mod:`repro.resilience.faults` — deterministic
   :class:`FaultInjector` / :class:`CrashingFile` used by the tests to
-  prove the above under adversarial crash points.
+  prove the above under adversarial crash points, and
+  :class:`ProcessFaultInjector`, which kills/hangs live worker
+  processes for the serving cluster's chaos suite.
 """
 
 from repro.resilience.atomic import (
@@ -28,7 +30,12 @@ from repro.resilience.checkpoint import (
     CheckpointManager,
     TrainingState,
 )
-from repro.resilience.faults import CrashingFile, FaultInjected, FaultInjector
+from repro.resilience.faults import (
+    CrashingFile,
+    FaultInjected,
+    FaultInjector,
+    ProcessFaultInjector,
+)
 from repro.resilience.journal import JournalEntry, RunJournal
 
 __all__ = [
@@ -37,6 +44,7 @@ __all__ = [
     "FaultInjected",
     "FaultInjector",
     "JournalEntry",
+    "ProcessFaultInjector",
     "RunJournal",
     "TrainingState",
     "atomic_write_bytes",

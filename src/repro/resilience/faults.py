@@ -15,7 +15,9 @@ arbitrary crash moments while staying reproducible.
 
 from __future__ import annotations
 
-from typing import IO, Any, Optional
+import os
+import signal
+from typing import IO, Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -115,6 +117,50 @@ class FaultInjector:
             f"FaultInjector(crash_at_update={self.crash_at_update}, "
             f"crash_on_write={self.crash_on_write}, "
             f"updates_seen={self.updates_seen}, writes_seen={self.writes_seen})"
+        )
+
+
+class ProcessFaultInjector:
+    """Kill or hang *live worker processes* — the cluster chaos hooks.
+
+    Where :class:`FaultInjector` crashes code paths inside one process,
+    this one attacks whole processes, which is what the sharded serving
+    cluster must survive:
+
+    * :meth:`kill` delivers ``SIGKILL`` — no atexit, no log seal, no
+      graceful anything; exactly the hard-crash the WAL-replay restart
+      path is specified against;
+    * :meth:`hang` arms a worker's ``/admin/hang`` gate over HTTP, so
+      every subsequent request (including health checks) stalls — the
+      slow-shard failure mode heartbeat monitoring must catch.
+
+    Both record what they did (``kills`` / ``hangs``) so chaos tests can
+    assert the fault actually landed.
+    """
+
+    def __init__(self) -> None:
+        self.kills: List[int] = []
+        self.hangs: List[Tuple[str, float]] = []
+
+    def kill(self, pid: int) -> None:
+        """SIGKILL ``pid`` and wait for the zombie to be reapable."""
+        os.kill(int(pid), signal.SIGKILL)
+        self.kills.append(int(pid))
+
+    def hang(self, base_url: str, seconds: float, timeout: float = 5.0) -> None:
+        """Stall every subsequent request of the worker at ``base_url``."""
+        # Imported here: resilience must not depend on serving at import
+        # time (serving already imports resilience).
+        from repro.serving.client import ServingClient
+
+        ServingClient(base_url, timeout=timeout, retries=0).hang(
+            seconds, timeout=timeout
+        )
+        self.hangs.append((base_url, float(seconds)))
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessFaultInjector(kills={self.kills}, hangs={self.hangs})"
         )
 
 

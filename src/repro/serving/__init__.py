@@ -21,12 +21,20 @@ now?", while staying bit-identical to the offline evaluation protocol:
   stdlib-only JSON-over-HTTP transport;
 * :mod:`~repro.serving.metrics` — latency histograms (p50/p95/p99),
   request/fallback/eviction counters, and session-cache hit rate,
-  exposed on ``/metrics``.
+  exposed on ``/metrics`` — with exact, order-independent cross-shard
+  merging (:func:`merge_snapshots`) for the cluster router.
+
+The sharded, fault-tolerant deployment of this stack lives in
+:mod:`repro.cluster`.
 """
 
 from repro.serving.client import ServingClient
 from repro.serving.events import Event, EventLog
-from repro.serving.metrics import LatencyHistogram, ServingMetrics
+from repro.serving.metrics import (
+    LatencyHistogram,
+    ServingMetrics,
+    merge_snapshots,
+)
 from repro.serving.server import RecommendServer
 from repro.serving.service import (
     RecommendResult,
@@ -48,5 +56,6 @@ __all__ = [
     "ServingClient",
     "ServingMetrics",
     "SessionStore",
+    "merge_snapshots",
     "service_for_split",
 ]

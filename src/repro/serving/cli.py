@@ -1,10 +1,12 @@
 """The ``repro-serve`` command line: run and inspect the online service.
 
-Two subcommands::
+Three subcommands::
 
-    repro-serve serve  --dataset gowalla --model recency --port 8423 \
-                       --event-log runs/events.log
-    repro-serve replay --event-log runs/events.log --dataset gowalla
+    repro-serve serve   --dataset gowalla --model recency --port 8423 \
+                        --event-log runs/events.log
+    repro-serve replay  --event-log runs/events.log --dataset gowalla
+    repro-serve cluster --dataset gowalla --model recency --shards 4 \
+                        --run-dir runs/cluster --port 8430
 
 ``serve`` builds a synthetic dataset, fits the chosen model on its
 training prefixes, and serves recommendations over HTTP; with an event
@@ -12,6 +14,10 @@ log, a restarted server replays it and resumes with bit-identical
 session state. ``replay`` opens a log read-only and prints what a
 restarted server would rebuild — per-user replayed event counts and
 state fingerprints — which is how operators verify recovery.
+``cluster`` runs the fault-tolerant sharded deployment: N supervised
+worker processes behind one router address, with heartbeat monitoring,
+WAL-replay restarts, and graceful degradation (see
+:mod:`repro.cluster`).
 
 The same subcommands are also mounted on ``repro-experiments`` so the
 whole toolbox stays reachable from one entry point.
@@ -147,6 +153,78 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    """``cluster`` options, shared by repro-serve and repro-experiments."""
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8430,
+        help="router bind port (0 = ephemeral); workers always bind "
+        "ephemeral ports and publish them to the run directory",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, help="number of worker processes"
+    )
+    parser.add_argument(
+        "--run-dir",
+        type=Path,
+        default=Path("runs/cluster"),
+        help="directory for per-shard event logs and endpoint files",
+    )
+    parser.add_argument(
+        "--dataset",
+        default="gowalla",
+        choices=DATASET_CHOICES,
+        help="synthetic dataset providing the base histories",
+    )
+    parser.add_argument(
+        "--model",
+        default="recency",
+        choices=MODEL_CHOICES,
+        help="recommender to serve (fitted once, inherited by every shard)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1024,
+        help="per-shard max resident live sessions before LRU eviction",
+    )
+    parser.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="consistent-hash ring points per shard",
+    )
+    parser.add_argument(
+        "--fsync-policy",
+        default="always",
+        choices=("always", "interval", "never"),
+        help="durability policy of every shard WAL",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.25,
+        help="seconds between supervisor health probes",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline on every shard",
+    )
+    parser.add_argument(
+        "--max-epochs",
+        type=int,
+        default=3000,
+        help="training budget for learned models (tsppr/ppr/fpmc)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="dataset/model seed"
+    )
+
+
 def add_replay_arguments(parser: argparse.ArgumentParser) -> None:
     """``replay`` options, shared by repro-serve and repro-experiments."""
     parser.add_argument(
@@ -191,6 +269,11 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="rebuild session state from an event log and report it"
     )
     add_replay_arguments(replay_parser)
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="run the fault-tolerant sharded cluster behind one router",
+    )
+    add_cluster_arguments(cluster_parser)
     return parser
 
 
@@ -225,6 +308,43 @@ def run_serve(args: argparse.Namespace) -> int:
                 args.metrics_out, service.store.counters.as_dict()
             )
             logger.info("metrics written to %s", args.metrics_out)
+    return 0
+
+
+def run_cluster(args: argparse.Namespace) -> int:
+    """Spin up supervisor + workers + router and serve until interrupted."""
+    # Imported here so the plain serve/replay paths never pay for (or
+    # depend on) the cluster machinery.
+    from repro.cluster.router import ClusterRouter
+    from repro.cluster.supervisor import ShardSupervisor
+
+    split = build_split(args.dataset, args.seed)
+    model = build_model(args.model, split, args.max_epochs, args.seed)
+    config = ServiceConfig(
+        default_deadline_ms=args.deadline_ms, n_items=split.n_items
+    )
+    supervisor = ShardSupervisor(
+        split,
+        model,
+        config,
+        n_shards=args.shards,
+        run_dir=args.run_dir,
+        capacity=args.capacity,
+        host=args.host,
+        vnodes=args.vnodes,
+        heartbeat_interval_s=args.heartbeat_interval,
+        fsync_policy=args.fsync_policy,
+    )
+    supervisor.start()
+    router = ClusterRouter(supervisor, host=args.host, port=args.port)
+    print(
+        f"cluster: {args.shards} shard(s) of {args.model} behind "
+        f"{router.url} (dataset {args.dataset}, run dir {args.run_dir})"
+    )
+    try:
+        router.serve_forever()
+    finally:
+        supervisor.close()
     return 0
 
 
@@ -278,6 +398,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "serve":
             return run_serve(args)
+        if args.command == "cluster":
+            return run_cluster(args)
         return run_replay(args)
     except ReproError as exc:
         logger.error("%s", exc)

@@ -1,31 +1,87 @@
 """Stdlib HTTP client for the serving endpoints.
 
-A thin :mod:`urllib.request` wrapper speaking the same four routes as
-:mod:`repro.serving.server`; 4xx replies surface as
-:class:`~repro.exceptions.ServingError` carrying the server's error
-message, so client code and tests get typed failures instead of raw
-HTTP exceptions.
+A thin :mod:`urllib.request` wrapper speaking the same routes as
+:mod:`repro.serving.server` (and the cluster router, which mounts the
+identical surface). Failures are typed:
+
+* 4xx/5xx replies surface as :class:`~repro.exceptions.ServingError`
+  carrying the server's error message — the server *answered*, the
+  request was wrong;
+* connection failures and timeouts surface as
+  :class:`~repro.exceptions.ServingUnavailableError` — the request may
+  never have been processed, so idempotent retries are safe.
+
+Every request honors a ``timeout=`` argument (falling back to the
+client default), and transient failures are retried with bounded
+exponential backoff. Retrying ``/events`` is only safe when the append
+is idempotent, so the client attaches a per-user sequence number to
+each event (``track_seq=True``, the default): the server deduplicates a
+retried append whose first attempt actually committed. Counters are
+initialized from the server's ``/state`` on first contact with a user
+and assume a single writer per user — exactly what consistent-hash
+routing guarantees in the cluster.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Dict, List, Optional
 
-from repro.exceptions import ServingError
+from repro.exceptions import ServingError, ServingUnavailableError
 
 
 class ServingClient:
-    """Talk to one running :class:`~repro.serving.server.RecommendServer`."""
+    """Talk to one :class:`~repro.serving.server.RecommendServer` or router.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Parameters
+    ----------
+    base_url:
+        Endpoint root, e.g. ``http://127.0.0.1:8423``.
+    timeout:
+        Default per-request timeout in seconds.
+    retries:
+        Transient-failure retries per request (on top of the first
+        attempt). ``0`` disables retrying.
+    backoff_s / max_backoff_s:
+        Exponential-backoff schedule: attempt *i* sleeps
+        ``min(backoff_s * 2**i, max_backoff_s)`` before retrying.
+    track_seq:
+        Attach per-user sequence numbers to ``/events`` so retried
+        appends are deduplicated server-side. Disable only for
+        multi-writer setups where this client does not own its users.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        track_seq: bool = True,
+    ) -> None:
+        if retries < 0:
+            raise ServingError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0 or max_backoff_s < 0:
+            raise ServingError("backoff delays must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.track_seq = track_seq
+        self._next_seq: Dict[int, int] = {}
 
-    def _request(
-        self, path: str, payload: Optional[dict] = None
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _attempt(
+        self, path: str, payload: Optional[dict], timeout: float
     ) -> Dict[str, object]:
         url = f"{self.base_url}{path}"
         data = (
@@ -40,7 +96,7 @@ class ServingClient:
             method="POST" if data is not None else "GET",
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+            with urllib.request.urlopen(request, timeout=timeout) as reply:
                 return json.loads(reply.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             try:
@@ -49,15 +105,83 @@ class ServingClient:
                 )
             except Exception:  # noqa: BLE001 - body may not be JSON
                 message = str(exc)
+            if exc.code == 503:
+                # Service Unavailable is transient by definition (the
+                # cluster router answers it while a shard restarts):
+                # typed as unavailability so idempotent calls retry.
+                raise ServingUnavailableError(
+                    f"{path} failed with HTTP 503: {message}"
+                ) from exc
             raise ServingError(
                 f"{path} failed with HTTP {exc.code}: {message}"
             ) from exc
-        except urllib.error.URLError as exc:
-            raise ServingError(f"cannot reach {url}: {exc.reason}") from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # URLError (unreachable), socket timeouts, resets, and torn
+            # HTTP exchanges: the server never answered.
+            reason = getattr(exc, "reason", exc)
+            raise ServingUnavailableError(
+                f"cannot reach {url}: {reason}"
+            ) from exc
 
-    def ingest(self, user: int, item: int) -> int:
-        """Send one consumption event; returns its committed position."""
-        reply = self._request("/events", {"user": user, "item": item})
+    def _request(
+        self,
+        path: str,
+        payload: Optional[dict] = None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """One request with bounded-backoff retries on unavailability."""
+        timeout = self.timeout if timeout is None else float(timeout)
+        retries = self.retries if retries is None else int(retries)
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(path, payload, timeout)
+            except ServingUnavailableError:
+                if attempt >= retries:
+                    raise
+                time.sleep(
+                    min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+                )
+                attempt += 1
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        user: int,
+        item: int,
+        seq: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Send one consumption event; returns its committed position.
+
+        With ``track_seq`` (default) the event carries a per-user
+        sequence number, making retries idempotent; the counter is
+        initialized from ``/state`` on first contact. An explicit
+        ``seq`` overrides the tracked counter (and does not advance it).
+        """
+        payload: Dict[str, object] = {"user": int(user), "item": int(item)}
+        tracked = seq is None and self.track_seq
+        if tracked:
+            if user not in self._next_seq:
+                self._next_seq[user] = int(
+                    self.state(user, timeout=timeout)["live_events"]  # type: ignore[arg-type]
+                )
+            seq = self._next_seq[user]
+        if seq is not None:
+            payload["seq"] = int(seq)
+        # Without a seq the append is not idempotent: a retry could
+        # double-apply, so unavailability surfaces after one attempt.
+        reply = self._request(
+            "/events",
+            payload,
+            timeout=timeout,
+            retries=None if seq is not None else 0,
+        )
+        if tracked:
+            self._next_seq[user] = int(seq) + 1  # type: ignore[arg-type]
         return int(reply["position"])  # type: ignore[arg-type]
 
     def recommend(
@@ -65,6 +189,7 @@ class ServingClient:
         user: int,
         k: Optional[int] = None,
         deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, object]:
         """Ask for a top-k list; returns the full response payload."""
         payload: Dict[str, object] = {"user": user}
@@ -72,26 +197,45 @@ class ServingClient:
             payload["k"] = k
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self._request("/recommend", payload)
+        return self._request("/recommend", payload, timeout=timeout)
 
     def recommend_items(
         self,
         user: int,
         k: Optional[int] = None,
         deadline_ms: Optional[float] = None,
+        timeout: Optional[float] = None,
     ) -> List[int]:
         """Just the ranked item list of :meth:`recommend`."""
         return [
             int(item)
-            for item in self.recommend(user, k, deadline_ms)["items"]  # type: ignore[union-attr]
+            for item in self.recommend(user, k, deadline_ms, timeout=timeout)[
+                "items"
+            ]  # type: ignore[union-attr]
         ]
 
-    def metrics(self) -> Dict[str, object]:
-        return self._request("/metrics")
+    def state(
+        self, user: int, timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Position, live-event count, and fingerprint of one user."""
+        query = urllib.parse.urlencode({"user": int(user)})
+        return self._request(f"/state?{query}", timeout=timeout)
 
-    def health(self) -> bool:
+    def metrics(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        return self._request("/metrics", timeout=timeout)
+
+    def health(self, timeout: Optional[float] = None) -> bool:
         """Whether the server answers its liveness probe."""
         try:
-            return self._request("/healthz").get("status") == "ok"
+            reply = self._request(
+                "/healthz", timeout=timeout, retries=0
+            )
+            return reply.get("status") == "ok"
         except ServingError:
             return False
+
+    def hang(self, seconds: float, timeout: Optional[float] = None) -> None:
+        """Arm the server's chaos hang gate (testing/ops hook)."""
+        self._request(
+            "/admin/hang", {"seconds": float(seconds)}, timeout=timeout
+        )

@@ -45,6 +45,9 @@ from repro.resilience.atomic import atomic_write_json
 #: Log format version recorded in the manifest; bump on layout changes.
 EVENT_LOG_VERSION = 1
 
+#: Durability policies for the append path (see :class:`EventLog`).
+FSYNC_POLICIES = ("always", "interval", "never")
+
 
 def _payload_crc(seq: int, user: int, item: int) -> str:
     """CRC-32 (hex, no prefix) of the canonical record payload."""
@@ -100,12 +103,23 @@ class EventLog:
         path: Union[str, Path],
         fault_injector: Optional[object] = None,
         fsync_every: int = 1,
+        fsync_policy: Optional[str] = None,
     ) -> None:
         if fsync_every < 1:
             raise DataError(f"fsync_every must be >= 1, got {fsync_every}")
+        if fsync_policy is None:
+            # Back-compat mapping: the historical knob was fsync_every,
+            # with 1 (the default) meaning fsync-per-append.
+            fsync_policy = "always" if fsync_every == 1 else "interval"
+        if fsync_policy not in FSYNC_POLICIES:
+            raise DataError(
+                f"fsync_policy must be one of {FSYNC_POLICIES}, "
+                f"got {fsync_policy!r}"
+            )
         self.path = Path(path)
         self.fault_injector = fault_injector
         self.fsync_every = fsync_every
+        self.fsync_policy = fsync_policy
         self.n_discarded_tail = 0
         self._events: List[Event] = []
         self._by_user: Dict[int, List[int]] = {}
@@ -123,14 +137,35 @@ class EventLog:
         fault_injector: Optional[object] = None,
         fsync_every: int = 1,
         readonly: bool = False,
+        fsync_policy: Optional[str] = None,
     ) -> "EventLog":
         """Open (or create) a log, replaying and validating its records.
 
         ``readonly`` skips the append handle entirely — the inspection
         mode ``repro-serve replay`` uses; appends raise and
         :meth:`close` leaves the manifest untouched.
+
+        ``fsync_policy`` picks the durability/throughput trade-off of
+        the append path:
+
+        * ``"always"`` (default) — fsync after every append. A record
+          returned from :meth:`append` survives an immediate process
+          kill *and* power cut; the strongest guarantee and the one the
+          crash sweeps assume.
+        * ``"interval"`` — fsync every ``fsync_every`` appends (and on
+          close). A process kill loses nothing (the OS page cache holds
+          the flushed lines), but a power cut may lose up to
+          ``fsync_every - 1`` committed records.
+        * ``"never"`` — fsync only on :meth:`close`. Fastest; a power
+          cut can lose any record appended since open. Only sensible
+          when the log is a rebuildable cache of some upstream truth.
         """
-        log = cls(path, fault_injector=fault_injector, fsync_every=fsync_every)
+        log = cls(
+            path,
+            fault_injector=fault_injector,
+            fsync_every=fsync_every,
+            fsync_policy=fsync_policy,
+        )
         log._readonly = readonly
         log._recover()
         if not readonly:
@@ -231,7 +266,10 @@ class EventLog:
         self._handle.write(event.to_line())
         self._handle.flush()
         self._unsynced += 1
-        if self._unsynced >= self.fsync_every:
+        if self.fsync_policy == "always" or (
+            self.fsync_policy == "interval"
+            and self._unsynced >= self.fsync_every
+        ):
             os.fsync(self._handle.fileno())
             self._unsynced = 0
         self._events.append(event)

@@ -11,6 +11,12 @@ machine-readable latency table behind.
 Histograms use ~60 log-spaced bucket bounds between 10µs and 60s;
 percentiles report the upper bound of the bucket containing the rank,
 i.e. a ≤8% overestimate — the right bias for latency SLOs.
+
+Histograms are **exactly mergeable**: all internal state is integral
+(bucket counts, totals in integer nanoseconds), so merging shard
+snapshots is associative and order-independent — the cluster router's
+``/metrics`` aggregation via :func:`merge_snapshots` is exact, not an
+approximation.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from __future__ import annotations
 import bisect
 import threading
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.resilience.atomic import atomic_write_json
 
@@ -47,16 +53,68 @@ class LatencyHistogram:
             raise ValueError("histogram bounds must be non-empty and sorted")
         self.counts = [0] * (len(self.bounds) + 1)
         self.n = 0
-        self.total = 0.0
-        self.max_seen = 0.0
+        # Totals/extrema in integer nanoseconds: integer addition is
+        # associative and exact, which is what makes cross-shard merges
+        # independent of merge order.
+        self.total_ns = 0
+        self.max_ns = 0
+
+    @property
+    def total(self) -> float:
+        """Sum of observations in seconds."""
+        return self.total_ns / 1e9
+
+    @property
+    def max_seen(self) -> float:
+        """Largest observation in seconds."""
+        return self.max_ns / 1e9
 
     def observe(self, seconds: float) -> None:
         index = bisect.bisect_left(self.bounds, seconds)
         self.counts[index] += 1
         self.n += 1
-        self.total += seconds
-        if seconds > self.max_seen:
-            self.max_seen = seconds
+        nanos = int(round(seconds * 1e9))
+        self.total_ns += nanos
+        if nanos > self.max_ns:
+            self.max_ns = nanos
+
+    # ------------------------------------------------------------------
+    # Exact merging (cross-shard aggregation)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready full state; :meth:`from_state` round-trips it."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "n": self.n,
+            "total_ns": self.total_ns,
+            "max_ns": self.max_ns,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "LatencyHistogram":
+        histogram = cls(bounds=[float(b) for b in state["bounds"]])  # type: ignore[union-attr]
+        counts = [int(c) for c in state["counts"]]  # type: ignore[union-attr]
+        if len(counts) != len(histogram.counts):
+            raise ValueError(
+                f"histogram state has {len(counts)} buckets, "
+                f"bounds imply {len(histogram.counts)}"
+            )
+        histogram.counts = counts
+        histogram.n = int(state["n"])  # type: ignore[arg-type]
+        histogram.total_ns = int(state["total_ns"])  # type: ignore[arg-type]
+        histogram.max_ns = int(state["max_ns"])  # type: ignore[arg-type]
+        return histogram
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` in. Exact: only integer adds and a max."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.n += other.n
+        self.total_ns += other.total_ns
+        self.max_ns = max(self.max_ns, other.max_ns)
+        return self
 
     def percentile(self, q: float) -> float:
         """Upper bound of the bucket holding the ``q``-quantile (0..1)."""
@@ -98,6 +156,7 @@ class ServingMetrics:
             "recommendations": 0,
             "empty_candidate_requests": 0,
             "deadline_fallbacks": 0,
+            "duplicate_events": 0,
             "errors": 0,
             "batches": 0,
             "batched_requests": 0,
@@ -132,10 +191,15 @@ class ServingMetrics:
                 name: histogram.summary()
                 for name, histogram in self._histograms.items()
             }
+            states = {
+                name: histogram.state_dict()
+                for name, histogram in self._histograms.items()
+            }
         batches = counters.get("batches", 0)
         payload: Dict[str, object] = {
             "counters": counters,
             "latency": latencies,
+            "histogram_state": states,
             "mean_batch_size": (
                 round(counters.get("batched_requests", 0) / batches, 3)
                 if batches
@@ -153,3 +217,59 @@ class ServingMetrics:
     ) -> Path:
         """Atomically write the snapshot as JSON (crash-safe, journal-style)."""
         return atomic_write_json(path, self.as_dict(store_counters))
+
+
+#: session_cache keys that merge by summation (hit_rate is derived).
+_CACHE_SUM_KEYS = ("hits", "misses", "evictions", "rehydrations")
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Exactly merge :meth:`ServingMetrics.as_dict` payloads.
+
+    The cluster router aggregates its shards' ``/metrics`` snapshots
+    with this. Counters and histogram states sum; derived values
+    (percentile summaries, hit rate, mean batch size) are recomputed
+    from the merged exact state — so the result is associative and
+    independent of shard order: ``merge([a, merge([b, c])])``,
+    ``merge([merge([a, b]), c])``, and ``merge`` over any permutation
+    all produce the same payload (the property test in
+    ``tests/test_serving_metrics.py`` pins this).
+    """
+    counters: Dict[str, int] = {}
+    histograms: Dict[str, LatencyHistogram] = {}
+    cache: Dict[str, float] = {}
+    saw_cache = False
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, state in snapshot.get("histogram_state", {}).items():  # type: ignore[union-attr]
+            incoming = LatencyHistogram.from_state(state)
+            if name in histograms:
+                histograms[name].merge(incoming)
+            else:
+                histograms[name] = incoming
+        session_cache = snapshot.get("session_cache")
+        if session_cache is not None:
+            saw_cache = True
+            for key in _CACHE_SUM_KEYS:
+                cache[key] = cache.get(key, 0) + session_cache.get(key, 0)  # type: ignore[union-attr]
+    batches = counters.get("batches", 0)
+    payload: Dict[str, object] = {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "latency": {
+            name: histograms[name].summary() for name in sorted(histograms)
+        },
+        "histogram_state": {
+            name: histograms[name].state_dict() for name in sorted(histograms)
+        },
+        "mean_batch_size": (
+            round(counters.get("batched_requests", 0) / batches, 3)
+            if batches
+            else 0.0
+        ),
+    }
+    if saw_cache:
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        cache["hit_rate"] = (cache.get("hits", 0) / lookups) if lookups else 0.0
+        payload["session_cache"] = cache
+    return payload

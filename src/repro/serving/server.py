@@ -3,15 +3,22 @@
 No framework, no new dependency: a :class:`http.server.ThreadingHTTPServer`
 whose handler translates four routes into service calls:
 
-=========  ======  ====================================================
-Route      Method  Body / response
-=========  ======  ====================================================
-/events     POST   ``{"user": u, "item": i}`` → committed position
-/recommend  POST   ``{"user": u, "k"?: n, "deadline_ms"?: d}`` →
-                   ranked items + degraded flag
-/metrics    GET    full metrics snapshot (counters, latency, cache)
-/healthz    GET    liveness probe
-=========  ======  ====================================================
+===========  ======  ====================================================
+Route        Method  Body / response
+===========  ======  ====================================================
+/events      POST    ``{"user": u, "item": i, "seq"?: s}`` → committed
+                     position (``seq`` makes retried appends idempotent)
+/recommend   POST    ``{"user": u, "k"?: n, "deadline_ms"?: d}`` →
+                     ranked items + degraded flag
+/metrics     GET     full metrics snapshot (counters, latency, cache)
+/healthz     GET     liveness probe
+/state       GET     ``?user=u`` → position, live-event count, and state
+                     fingerprint (supervisor readmission checks, client
+                     idempotency-counter initialization)
+/admin/hang  POST    ``{"seconds": s}`` → stall every *subsequent*
+                     request for ``s`` seconds (chaos hook simulating a
+                     hung worker; the supervisor must detect and react)
+===========  ======  ====================================================
 
 Handler threads funnel into the service's micro-batching queue, so
 concurrent HTTP clients are exactly what fills scoring batches. Request
@@ -24,6 +31,8 @@ from __future__ import annotations
 
 import json
 import threading
+import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -49,11 +58,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client gave up (timeout, retry elsewhere) before the
+            # reply went out; nothing to answer anymore.
+            logger.debug("client disconnected before reply on %s", self.path)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -77,25 +91,55 @@ class _Handler(BaseHTTPRequestHandler):
         except (TypeError, ValueError) as exc:
             raise ServingError(f"field {name!r} must be an integer") from exc
 
+    def _hang_if_armed(self) -> None:
+        """Chaos gate: stall this handler while a hang window is open."""
+        until = getattr(self.server, "hang_until", 0.0)
+        now = time.monotonic()
+        if now < until:
+            time.sleep(until - now)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         try:
-            if self.path == "/healthz":
+            self._hang_if_armed()
+            parsed = urllib.parse.urlsplit(self.path)
+            if parsed.path == "/healthz":
                 self._send_json(200, {"status": "ok"})
-            elif self.path == "/metrics":
+            elif parsed.path == "/metrics":
                 self._send_json(200, self.service.metrics_snapshot())
+            elif parsed.path == "/state":
+                query = urllib.parse.parse_qs(parsed.query)
+                if "user" not in query:
+                    raise ServingError("missing required query param 'user'")
+                try:
+                    user = int(query["user"][0])
+                except ValueError as exc:
+                    raise ServingError("query param 'user' must be an integer") from exc
+                self._send_json(200, self.service.user_state(user))
             else:
                 self._send_json(404, {"error": f"unknown route {self.path}"})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - must answer the socket
             logger.warning("GET %s failed: %s", self.path, exc)
             self._send_json(500, {"error": str(exc)})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
+            if self.path == "/admin/hang":
+                # The hang request itself answers immediately; only
+                # requests arriving inside the window stall.
+                payload = self._read_json()
+                seconds = float(payload.get("seconds", 0.0))
+                self.server.hang_until = time.monotonic() + seconds  # type: ignore[attr-defined]
+                self._send_json(200, {"hanging_s": seconds})
+                return
+            self._hang_if_armed()
             payload = self._read_json()
             if self.path == "/events":
                 user = self._field(payload, "user")
                 item = self._field(payload, "item")
-                position = self.service.ingest(user, item)
+                seq = self._field(payload, "seq") if "seq" in payload else None
+                position = self.service.ingest(user, item, client_seq=seq)
                 self._send_json(
                     200, {"user": user, "item": item, "position": position}
                 )
@@ -149,6 +193,7 @@ class RecommendServer:
         self.service = service
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
+        self._httpd.hang_until = 0.0  # type: ignore[attr-defined] - chaos gate
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -256,7 +256,9 @@ class RecommendService:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def ingest(self, user: int, item: int) -> int:
+    def ingest(
+        self, user: int, item: int, client_seq: Optional[int] = None
+    ) -> int:
         """Apply one consumption event; returns its sequence position.
 
         Write-ahead discipline: the event is committed to the log first,
@@ -268,6 +270,17 @@ class RecommendService:
         The session is materialized *before* the log write: rehydration
         replays every previously-logged event, so logging first and then
         letting ``store.get`` rebuild would apply the new event twice.
+
+        ``client_seq`` makes retries idempotent: it is the index this
+        event should take among the user's *live* events (0-based). A
+        ``client_seq`` below the session's live-event count means the
+        append already committed — the original position is returned
+        without re-applying (the retried duplicate of a request whose
+        reply was lost). The item must match the committed one; a
+        mismatch means the client's counter diverged and raises. A
+        ``client_seq`` beyond the live count is a gap (events lost
+        client-side) and also raises. Assumes one writer per user —
+        the cluster's consistent-hash routing guarantees exactly that.
         """
         user, item = int(user), int(item)
         if user < 0:
@@ -281,6 +294,32 @@ class RecommendService:
             )
         with self.store.lock:
             session = self.store.get(user)
+            if client_seq is not None:
+                client_seq = int(client_seq)
+                if client_seq < 0:
+                    raise ServingError(
+                        f"client_seq must be non-negative, got {client_seq}"
+                    )
+                n_live = session.n_live_events
+                if client_seq < n_live:
+                    committed = (
+                        self.event_log.events_for(user)[client_seq]
+                        if self.event_log is not None
+                        else None
+                    )
+                    if committed is not None and committed != item:
+                        raise ServingError(
+                            f"duplicate event for user {user} at live seq "
+                            f"{client_seq} carries item {item}, but item "
+                            f"{committed} is committed there"
+                        )
+                    self.metrics.inc("duplicate_events")
+                    return session.t - n_live + client_seq
+                if client_seq > n_live:
+                    raise ServingError(
+                        f"client_seq {client_seq} for user {user} skips "
+                        f"ahead of the live stream (next is {n_live})"
+                    )
             if self.event_log is not None:
                 self.event_log.append(user, item)
             position = session.append(item)
@@ -484,6 +523,26 @@ class RecommendService:
     def state_fingerprint(self, user: int) -> str:
         """Digest of one user's live session state (rehydrates if needed)."""
         return self.store.state_fingerprint(int(user))
+
+    def user_state(self, user: int) -> Dict[str, object]:
+        """Position, live-event count, and fingerprint of one user.
+
+        Served on ``/state``; the supervisor uses the fingerprint to
+        prove a restarted shard rehydrated bit-identically before
+        readmitting it, and clients use ``live_events`` to initialize
+        their idempotency counters.
+        """
+        user = int(user)
+        if user < 0:
+            raise ServingError(f"user must be non-negative, got {user}")
+        with self.store.lock:
+            session = self.store.get(user)
+            return {
+                "user": session.user,
+                "t": session.t,
+                "live_events": session.n_live_events,
+                "fingerprint": session.state_fingerprint(),
+            }
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """Counters + latency histograms + session-cache stats, one dict."""

@@ -1,0 +1,84 @@
+"""Consistent-hash ring invariants: determinism, balance, minimal movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing, moved_users
+from repro.exceptions import ServingError
+
+USERS = list(range(500))
+
+
+class TestConstruction:
+    def test_requires_shards(self) -> None:
+        with pytest.raises(ServingError, match="at least one shard"):
+            HashRing([])
+
+    def test_rejects_duplicates(self) -> None:
+        with pytest.raises(ServingError, match="duplicate"):
+            HashRing(["a", "b", "a"])
+
+    def test_rejects_bad_vnodes(self) -> None:
+        with pytest.raises(ServingError, match="vnodes"):
+            HashRing(["a"], vnodes=0)
+
+    def test_name_order_is_irrelevant(self) -> None:
+        assert HashRing(["b", "a", "c"]) == HashRing(["c", "a", "b"])
+
+
+class TestOwnership:
+    def test_deterministic_across_instances(self) -> None:
+        one = HashRing(["shard-0", "shard-1", "shard-2"])
+        two = HashRing(["shard-0", "shard-1", "shard-2"])
+        assert [one.owner(u) for u in USERS] == [two.owner(u) for u in USERS]
+
+    def test_single_shard_owns_everything(self) -> None:
+        ring = HashRing(["only"])
+        assert all(ring.owner(u) == "only" for u in USERS)
+
+    def test_assignment_partitions_users(self) -> None:
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        groups = ring.assignment(USERS)
+        assert sorted(u for users in groups.values() for u in users) == USERS
+        # Every shard takes a non-trivial share: vnodes spread the load.
+        for users in groups.values():
+            assert len(users) > len(USERS) // 20
+
+    def test_contains_and_len(self) -> None:
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "missing" not in ring
+        assert len(ring) == 2
+
+
+class TestMembershipChanges:
+    def test_removal_moves_only_the_removed_shards_users(self) -> None:
+        before = HashRing([f"shard-{i}" for i in range(4)])
+        removed = "shard-2"
+        after = before.without(removed)
+        orphaned = set(before.assignment(USERS)[removed])
+        assert set(moved_users(before, after, USERS)) == orphaned
+        # And they spread over the survivors, not onto one scapegoat.
+        new_owners = {after.owner(u) for u in orphaned}
+        assert len(new_owners) > 1
+
+    def test_addition_is_inverse_of_removal(self) -> None:
+        small = HashRing(["shard-0", "shard-1"])
+        grown = small.with_shard("shard-2")
+        assert grown == HashRing(["shard-0", "shard-1", "shard-2"])
+        assert grown.without("shard-2") == small
+
+    def test_without_unknown_raises(self) -> None:
+        with pytest.raises(ServingError, match="not on the ring"):
+            HashRing(["a"]).without("b")
+
+    def test_with_existing_raises(self) -> None:
+        with pytest.raises(ServingError, match="already on the ring"):
+            HashRing(["a"]).with_shard("a")
+
+    def test_survivors_keep_their_users(self) -> None:
+        before = HashRing([f"shard-{i}" for i in range(5)])
+        after = before.without("shard-0")
+        for user in USERS:
+            if before.owner(user) != "shard-0":
+                assert after.owner(user) == before.owner(user)

@@ -198,6 +198,57 @@ class TestManifest:
             EventLog.open(log_path)
 
 
+class TestFsyncPolicy:
+    def test_rejects_unknown_policy(self, log_path) -> None:
+        with pytest.raises(DataError, match="fsync_policy"):
+            EventLog.open(log_path, fsync_policy="sometimes")
+
+    def test_back_compat_mapping(self, log_path) -> None:
+        assert EventLog.open(log_path).fsync_policy == "always"
+        assert (
+            EventLog.open(log_path, fsync_every=8).fsync_policy == "interval"
+        )
+
+    @pytest.mark.parametrize("policy", ["always", "interval", "never"])
+    def test_every_policy_commits_through_clean_close(
+        self, log_path, policy
+    ) -> None:
+        with EventLog.open(
+            log_path, fsync_policy=policy, fsync_every=10
+        ) as log:
+            for item in range(5):
+                log.append(0, item)
+        assert EventLog.open(log_path).events_for(0) == [0, 1, 2, 3, 4]
+
+    def test_always_survives_kill_at_every_append_boundary(
+        self, tmp_path
+    ) -> None:
+        """With ``"always"``, every append that returned is recoverable.
+
+        Sweep the kill over *every* append boundary: crash the K-th
+        write, then replay — exactly the K-1 acknowledged events must
+        come back, never fewer (durability) and never the dying one
+        (write-ahead atomicity).
+        """
+        n_events = 8
+        for crash_at in range(1, n_events + 1):
+            path = tmp_path / f"boundary{crash_at}.log"
+            injector = FaultInjector(crash_on_write=crash_at)
+            log = EventLog.open(
+                path, fault_injector=injector, fsync_policy="always"
+            )
+            acknowledged = []
+            with pytest.raises(FaultInjected):
+                for item in range(n_events):
+                    log.append(7, item)
+                    acknowledged.append(item)
+            # No clean close: this is the crash. Replay from disk.
+            recovered = EventLog.open(path)
+            assert recovered.events_for(7) == acknowledged
+            assert len(acknowledged) == crash_at - 1
+            recovered.close()
+
+
 class TestFaultInjection:
     def test_crash_on_write_commits_nothing(self, log_path) -> None:
         """The fault fires before the write: the event must not appear."""

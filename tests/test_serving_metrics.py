@@ -1,0 +1,148 @@
+"""Metrics exactness: histogram merging and cross-shard aggregation.
+
+The cluster router sums its shards' ``/metrics`` snapshots with
+:func:`~repro.serving.metrics.merge_snapshots` and claims the result is
+*exact*. That claim rests on two properties these tests pin down, both
+property-based (hypothesis):
+
+* merging histograms is lossless — a merged histogram is bit-equal to
+  one that observed every sample itself (integer-nanosecond state makes
+  the adds associative and exact);
+* snapshot merging is associative and order-independent — any
+  permutation, any grouping, same payload.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.metrics import (
+    LatencyHistogram,
+    ServingMetrics,
+    merge_snapshots,
+)
+
+#: Latency-like durations: microseconds to beyond the overflow bucket.
+durations = st.floats(
+    min_value=1e-6, max_value=90.0, allow_nan=False, allow_infinity=False
+)
+
+#: One shard's worth of activity, rendered into a real snapshot.
+shard_activity = st.fixed_dictionaries(
+    {
+        "requests": st.integers(min_value=0, max_value=50),
+        "events": st.integers(min_value=0, max_value=50),
+        "batches": st.integers(min_value=0, max_value=10),
+        "batched_requests": st.integers(min_value=0, max_value=40),
+        "latencies": st.lists(durations, max_size=20),
+        "cache_hits": st.integers(min_value=0, max_value=30),
+        "cache_misses": st.integers(min_value=0, max_value=30),
+    }
+)
+
+
+def snapshot_from(activity: dict) -> dict:
+    """Drive a real ServingMetrics the way a shard would, then snapshot."""
+    metrics = ServingMetrics()
+    for name in ("requests", "events", "batches", "batched_requests"):
+        metrics.inc(name, activity[name])
+    for seconds in activity["latencies"]:
+        metrics.observe("request_latency", seconds)
+    return metrics.as_dict(
+        {
+            "hits": activity["cache_hits"],
+            "misses": activity["cache_misses"],
+            "evictions": 0,
+            "rehydrations": 0,
+            "hit_rate": 0.0,
+        }
+    )
+
+
+class TestHistogramMerge:
+    @given(xs=st.lists(durations, max_size=30), ys=st.lists(durations, max_size=30))
+    @settings(deadline=None, max_examples=60)
+    def test_merge_equals_observing_everything(self, xs, ys) -> None:
+        """merge(H(xs), H(ys)) is bit-equal to H(xs + ys)."""
+        left = LatencyHistogram()
+        for x in xs:
+            left.observe(x)
+        right = LatencyHistogram()
+        for y in ys:
+            right.observe(y)
+        combined = LatencyHistogram()
+        for value in xs + ys:
+            combined.observe(value)
+        left.merge(right)
+        assert left.state_dict() == combined.state_dict()
+        assert left.summary() == combined.summary()
+
+    def test_merge_rejects_different_bounds(self) -> None:
+        with pytest.raises(ValueError, match="different bounds"):
+            LatencyHistogram(bounds=[0.1, 1.0]).merge(
+                LatencyHistogram(bounds=[0.2, 2.0])
+            )
+
+    @given(xs=st.lists(durations, min_size=1, max_size=30))
+    @settings(deadline=None, max_examples=60)
+    def test_state_round_trip(self, xs) -> None:
+        histogram = LatencyHistogram()
+        for x in xs:
+            histogram.observe(x)
+        clone = LatencyHistogram.from_state(histogram.state_dict())
+        assert clone.state_dict() == histogram.state_dict()
+        assert clone.percentile(0.99) == histogram.percentile(0.99)
+
+
+class TestSnapshotMerge:
+    @given(
+        activities=st.lists(shard_activity, min_size=1, max_size=5),
+        seed=st.randoms(),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_order_independent(self, activities, seed) -> None:
+        """Any shard ordering produces the identical merged payload."""
+        snapshots = [snapshot_from(a) for a in activities]
+        reference = merge_snapshots(snapshots)
+        shuffled = list(snapshots)
+        seed.shuffle(shuffled)
+        assert merge_snapshots(shuffled) == reference
+
+    @given(activities=st.lists(shard_activity, min_size=3, max_size=5))
+    @settings(deadline=None, max_examples=40)
+    def test_associative(self, activities) -> None:
+        """Grouping does not matter: a merged payload re-merges cleanly."""
+        snapshots = [snapshot_from(a) for a in activities]
+        flat = merge_snapshots(snapshots)
+        left_grouped = merge_snapshots(
+            [merge_snapshots(snapshots[:2]), *snapshots[2:]]
+        )
+        right_grouped = merge_snapshots(
+            [snapshots[0], merge_snapshots(snapshots[1:])]
+        )
+        assert left_grouped == flat
+        assert right_grouped == flat
+
+    @given(activities=st.lists(shard_activity, min_size=1, max_size=5))
+    @settings(deadline=None, max_examples=40)
+    def test_totals_are_sums(self, activities) -> None:
+        snapshots = [snapshot_from(a) for a in activities]
+        merged = merge_snapshots(snapshots)
+        assert merged["counters"]["requests"] == sum(
+            a["requests"] for a in activities
+        )
+        assert merged["histogram_state"]["request_latency"]["n"] == sum(
+            len(a["latencies"]) for a in activities
+        )
+        cache = merged["session_cache"]
+        hits = sum(a["cache_hits"] for a in activities)
+        lookups = hits + sum(a["cache_misses"] for a in activities)
+        assert cache["hits"] == hits
+        assert cache["hit_rate"] == (hits / lookups if lookups else 0.0)
+
+    def test_empty_iterable(self) -> None:
+        merged = merge_snapshots([])
+        assert merged["counters"] == {}
+        assert merged["mean_batch_size"] == 0.0

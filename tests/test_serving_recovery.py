@@ -14,7 +14,8 @@ across the whole stream is ``tier2``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import threading
+from typing import Dict, List, Optional, Tuple
 
 import pytest
 
@@ -27,6 +28,7 @@ from repro.models.tsppr import TSPPRRecommender
 from repro.resilience.faults import FaultInjected, FaultInjector
 from repro.serving.events import EventLog
 from repro.serving.service import ServiceConfig, service_for_split
+from repro.serving.state import LiveSession, SessionStore
 
 from test_serving_service import QUICK
 
@@ -215,6 +217,123 @@ class TestCrashRecovery:
         assert fps == ref_fps
         assert recs == reference[crashed_at:]
         assert recovered_log._by_user  # the log really was exercised
+
+
+def concurrent_crash(
+    model, split, tmp_path, crash_on_write, tag
+) -> Tuple[Dict[int, List[int]], EventLog]:
+    """Two writer threads share one WAL until an injected kill lands.
+
+    Each thread streams its own users through ``service.ingest`` (the
+    write-ahead path), recording which appends were *acknowledged*. The
+    injected fault kills one append mid-stream; afterwards torn trailing
+    bytes are planted to simulate the record the kill cut short.
+    Returns the per-user acknowledged streams and the recovered log.
+    """
+    log_path = tmp_path / f"concurrent{tag}.log"
+    injector = FaultInjector(crash_on_write=crash_on_write)
+    log = EventLog.open(log_path, fault_injector=injector)
+    service = service_for_split(
+        model, split, event_log=log, config=config_for(split)
+    )
+    acked: Dict[int, List[int]] = {}
+    stop = threading.Event()
+
+    def writer(users: List[int]) -> None:
+        for user, item in stream_for(split, users):
+            if stop.is_set():
+                return
+            try:
+                service.ingest(user, item)
+            except FaultInjected:
+                stop.set()
+                return
+            acked.setdefault(user, []).append(item)
+
+    threads = [
+        threading.Thread(target=writer, args=([0, 2],)),
+        threading.Thread(target=writer, args=([1, 3],)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert stop.is_set(), "injected kill never landed"
+    # Simulated hard kill: no close(), no seal — and the record the
+    # crash interrupted left half its bytes behind.
+    with log_path.open("a", encoding="utf-8") as handle:
+        handle.write('{"seq":999999,"user":0,"it')
+    recovered = EventLog.open(log_path)
+    assert recovered.n_discarded_tail == 1
+    return acked, recovered
+
+
+def assert_replay_matches_acknowledged(
+    split: SplitDataset, acked: Dict[int, List[int]], recovered: EventLog
+) -> None:
+    """Replay == exactly the acknowledged pre-kill prefix, bit-identical.
+
+    Durability: every acknowledged append is in the replayed log, in
+    order, and nothing else. Bit-identity: rehydrating through the
+    SessionStore (base history + ``event_source`` replay — the recovery
+    path) fingerprints identically to building a fresh
+    :class:`LiveSession` and applying the acknowledged events directly
+    (the live path) — two independent code paths, one digest.
+    """
+    for user, items in acked.items():
+        assert recovered.events_for(user) == items
+    assert sorted(recovered.users()) == sorted(
+        user for user, items in acked.items() if items
+    )
+    store = SessionStore(
+        SMALL_WINDOW.window_size,
+        SMALL_WINDOW.min_gap,
+        capacity=8,
+        history_provider=split.train_sequence,
+        event_source=recovered.events_for,
+    )
+    for user, items in acked.items():
+        direct = LiveSession(
+            user,
+            SMALL_WINDOW.window_size,
+            SMALL_WINDOW.min_gap,
+            history=split.train_sequence(user),
+        )
+        for item in items:
+            direct.append(item)
+        assert (
+            store.get(user).state_fingerprint()
+            == direct.state_fingerprint()
+        ), f"user {user} state diverged after concurrent crash"
+
+
+class TestConcurrentTornTail:
+    def test_two_writers_killed_mid_record(
+        self, gowalla_split: SplitDataset, tmp_path
+    ) -> None:
+        model = RecencyRecommender().fit(gowalla_split, SMALL_WINDOW)
+        acked, recovered = concurrent_crash(
+            model, gowalla_split, tmp_path, crash_on_write=41, tag="t1"
+        )
+        assert_replay_matches_acknowledged(gowalla_split, acked, recovered)
+
+    @pytest.mark.tier2
+    def test_sweep_kill_points(
+        self, gowalla_split: SplitDataset, tmp_path
+    ) -> None:
+        """The kill lands at many different writes; every one recovers."""
+        model = RecencyRecommender().fit(gowalla_split, SMALL_WINDOW)
+        for crash_on_write in range(1, 80, 6):
+            acked, recovered = concurrent_crash(
+                model,
+                gowalla_split,
+                tmp_path,
+                crash_on_write=crash_on_write,
+                tag=crash_on_write,
+            )
+            assert_replay_matches_acknowledged(
+                gowalla_split, acked, recovered
+            )
 
 
 @pytest.mark.tier2

@@ -10,6 +10,7 @@ JSON reply.
 from __future__ import annotations
 
 import json
+import time
 import urllib.request
 
 import pytest
@@ -18,9 +19,10 @@ from conftest import SMALL_WINDOW
 
 from repro.config import WindowConfig
 from repro.data.split import SplitDataset
-from repro.exceptions import ServingError
+from repro.exceptions import ServingError, ServingUnavailableError
 from repro.models.recency import RecencyRecommender
 from repro.serving import (
+    EventLog,
     RecommendServer,
     ServiceConfig,
     ServingClient,
@@ -34,6 +36,22 @@ def served(gowalla_split: SplitDataset):
     model = RecencyRecommender().fit(gowalla_split, SMALL_WINDOW)
     config = ServiceConfig(window=SMALL_WINDOW, n_items=gowalla_split.n_items)
     service = service_for_split(model, gowalla_split, config=config)
+    server = RecommendServer(service, port=0).start()
+    try:
+        yield server, ServingClient(server.url), gowalla_split
+    finally:
+        server.close()
+
+
+@pytest.fixture()
+def served_with_log(gowalla_split: SplitDataset, tmp_path):
+    """Like ``served`` but write-ahead logged (idempotency needs the WAL)."""
+    model = RecencyRecommender().fit(gowalla_split, SMALL_WINDOW)
+    config = ServiceConfig(window=SMALL_WINDOW, n_items=gowalla_split.n_items)
+    log = EventLog.open(tmp_path / "events.log")
+    service = service_for_split(
+        model, gowalla_split, event_log=log, config=config
+    )
     server = RecommendServer(service, port=0).start()
     try:
         yield server, ServingClient(server.url), gowalla_split
@@ -132,6 +150,99 @@ class TestErrorMapping:
         with pytest.raises(ServingError, match="cannot reach"):
             client.ingest(0, 0)
         assert client.health() is False
+
+
+class TestIdempotency:
+    def test_retried_event_is_deduplicated(self, served_with_log) -> None:
+        """A retransmitted append returns the original position, once."""
+        server, client, split = served_with_log
+        user = 0
+        item = int(split.full_sequence(user).items[split.train_boundary(user)])
+        first = client.ingest(user, item, seq=0)
+        duplicate = client.ingest(user, item, seq=0)  # the retry
+        assert duplicate == first
+        state = client.state(user)
+        assert state["live_events"] == 1  # applied exactly once
+        assert client.metrics()["counters"]["duplicate_events"] == 1
+
+    def test_fresh_client_resumes_seq_from_state(
+        self, served_with_log
+    ) -> None:
+        """A reconnecting client initializes its counter from ``/state``."""
+        server, client, split = served_with_log
+        user, items = 1, [3, 5, 3]
+        for item in items:
+            client.ingest(user, item)
+        fresh = ServingClient(server.url)  # no memory of the first client
+        position = fresh.ingest(user, 7)
+        assert position == split.train_boundary(user) + len(items)
+        assert client.state(user)["live_events"] == len(items) + 1
+
+    def test_seq_gap_is_rejected(self, served_with_log) -> None:
+        _, client, _ = served_with_log
+        with pytest.raises(ServingError, match="skips ahead"):
+            client.ingest(2, 1, seq=5)
+
+    def test_duplicate_with_different_item_is_rejected(
+        self, served_with_log
+    ) -> None:
+        """A dedup hit must carry the committed item, else the client lies."""
+        _, client, _ = served_with_log
+        client.ingest(3, 11, seq=0)
+        with pytest.raises(ServingError, match="committed there"):
+            client.ingest(3, 12, seq=0)
+
+    def test_state_route_matches_service(self, served_with_log) -> None:
+        server, client, split = served_with_log
+        user = 4
+        client.ingest(user, 2)
+        state = client.state(user)
+        direct = server.service.user_state(user)
+        assert state == direct
+        assert state["user"] == user
+        assert state["live_events"] == 1
+        assert state["t"] == split.train_boundary(user) + 1
+        assert isinstance(state["fingerprint"], str)
+
+
+class TestAvailabilityAndTimeouts:
+    def test_unreachable_is_typed_unavailable(self) -> None:
+        client = ServingClient("http://127.0.0.1:9", timeout=0.5, retries=0)
+        with pytest.raises(ServingUnavailableError):
+            client.recommend(0)
+        # Still catchable as the serving-layer base error.
+        assert issubclass(ServingUnavailableError, ServingError)
+
+    def test_http_errors_stay_plain_serving_errors(self, served) -> None:
+        """A server that *answered* is not 'unavailable' — no blind retry."""
+        _, client, _ = served
+        with pytest.raises(ServingError) as exc_info:
+            client._request("/nope")
+        assert not isinstance(exc_info.value, ServingUnavailableError)
+
+    def test_per_request_timeout_honored(self, served) -> None:
+        """A hung server trips the caller's timeout, not the default."""
+        server, client, _ = served
+        client.hang(1.2)
+        tight = ServingClient(server.url, timeout=30.0, retries=0)
+        start = time.monotonic()
+        with pytest.raises(ServingUnavailableError):
+            tight.recommend(0, timeout=0.3)
+        elapsed = time.monotonic() - start
+        assert elapsed < 1.0, f"timeout ignored: waited {elapsed:.2f}s"
+        # Once the hang window closes the server answers again.
+        time.sleep(1.2)
+        assert tight.health()
+
+    def test_retries_eventually_reach_recovering_server(self, served) -> None:
+        """Bounded backoff rides out an outage shorter than the budget."""
+        server, _, _ = served
+        hangy = ServingClient(
+            server.url, timeout=0.2, retries=8, backoff_s=0.1, max_backoff_s=0.4
+        )
+        ServingClient(server.url).hang(0.8)
+        reply = hangy.recommend(0, k=3)  # first attempts time out, later wins
+        assert reply["degraded"] is False
 
 
 class TestLifecycle:
