@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Fail CI when the in-flight bursty tail regresses past the baseline.
+
+Compares the freshly measured ``tsppr_bursty_inflight.p99_ms`` in
+``benchmarks/BENCH_serving.json`` (written by the serving bench that
+just ran) against the *committed* copy of the same file — the baseline
+the PR started from — and exits non-zero when the fresh p99 exceeds the
+baseline by more than the tolerance (default 20%, shared-runner noise
+included).
+
+Usage::
+
+    python benchmarks/check_serving_regression.py [--tolerance 1.2] \
+        [--baseline-ref HEAD]
+
+Exit codes: 0 = within tolerance (or no baseline to compare against —
+the first run that records the metric cannot regress), 1 = regression,
+2 = the fresh measurement file is missing or lacks the metric (the
+bench did not run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+METRIC_KEY = "tsppr_bursty_inflight"
+FIELD = "p99_ms"
+BENCH_FILE = Path(__file__).resolve().parent / "BENCH_serving.json"
+
+
+def load_metric(payload: dict) -> float | None:
+    """``results.tsppr_bursty_inflight.p99_ms`` or None if absent."""
+    entry = payload.get("results", {}).get(METRIC_KEY, {})
+    value = entry.get(FIELD)
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def baseline_payload(ref: str) -> dict | None:
+    """The committed BENCH_serving.json at ``ref``, or None if absent."""
+    relative = BENCH_FILE.relative_to(BENCH_FILE.parent.parent)
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{relative.as_posix()}"],
+            cwd=BENCH_FILE.parent.parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.2,
+        help="fail when fresh p99 > baseline p99 * tolerance",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref whose committed BENCH_serving.json is the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if not BENCH_FILE.exists():
+        print(f"regression check: {BENCH_FILE} missing — run the serving "
+              "bench first", file=sys.stderr)
+        return 2
+    fresh = load_metric(json.loads(BENCH_FILE.read_text()))
+    if fresh is None:
+        print(f"regression check: fresh {METRIC_KEY}.{FIELD} missing from "
+              f"{BENCH_FILE.name} — run the serving bench first",
+              file=sys.stderr)
+        return 2
+
+    committed = baseline_payload(args.baseline_ref)
+    baseline = load_metric(committed) if committed else None
+    if baseline is None:
+        print(f"regression check: no committed {METRIC_KEY}.{FIELD} at "
+              f"{args.baseline_ref} — nothing to regress against; passing")
+        return 0
+
+    bound = baseline * args.tolerance
+    verdict = "REGRESSION" if fresh > bound else "ok"
+    print(
+        f"regression check [{verdict}]: in-flight bursty {FIELD} fresh "
+        f"{fresh:.3f} vs baseline {baseline:.3f} at {args.baseline_ref} "
+        f"(bound {bound:.3f} = baseline x {args.tolerance})"
+    )
+    return 1 if fresh > bound else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,14 @@ Two measurements, both recorded to ``BENCH_cluster.json``:
   (near-linear); on smaller machines (CI containers pinned to a core or
   two) the numbers are recorded but the ratio is not asserted — worker
   processes cannot scale past the physical cores they share.
-* **Restart tail** — p99 client-observed latency through the router
+* **Restart tail** — client-observed p50/p95/p99 through the router
   while one of 4 shards is SIGKILLed mid-run and restarted from its
-  WAL. No request may error: reads degrade, writes are held; the p99
-  quantifies what that grace costs.
+  WAL. The client threads pace their requests with the shared seeded
+  Poisson process (``loadgen.poisson_gaps``) instead of a tight loop,
+  so the percentiles describe a fixed offered load — restart stalls
+  show up as tail, not as throughput collapse. No request may error:
+  reads degrade, writes are held; the tail quantifies what that grace
+  costs.
 """
 
 from __future__ import annotations
@@ -22,7 +26,6 @@ import threading
 import time
 from typing import Dict, List
 
-import numpy as np
 import pytest
 
 from repro.cluster import ClusterRouter, RUNNING, ShardSupervisor
@@ -39,6 +42,10 @@ BENCH_WINDOW = WindowConfig(window_size=25, min_gap=2)
 SHARD_COUNTS = (1, 2, 4)
 N_THREADS = 4
 MEASURE_S = 2.5
+#: Per-thread Poisson rate for the restart-tail measurement: 4 threads
+#: at 60 Hz offer ~240 ingest+recommend pairs/s — well under cluster
+#: capacity, so the recorded percentiles isolate the restart's cost.
+RESTART_PACE_HZ = 60.0
 #: Near-linear scaling needs real parallelism: 4 workers + supervisor +
 #: the driving client want ~5 cores before the assertion is meaningful.
 MIN_CORES_FOR_ASSERT = 5
@@ -153,9 +160,9 @@ def test_bench_cluster_scaling(bench_split, bench_model, tmp_path, bench_record)
 
 
 def test_bench_cluster_restart_tail(
-    bench_split, bench_model, tmp_path, bench_record
+    bench_split, bench_model, tmp_path, bench_record, loadgen
 ):
-    """p99 through the router while a shard dies and replays its WAL."""
+    """Tail through the router while a shard dies and replays its WAL."""
     supervisor = make_supervisor(bench_split, bench_model, tmp_path / "r", 4)
     supervisor.start()
     router = ClusterRouter(
@@ -171,10 +178,16 @@ def test_bench_cluster_restart_tail(
     def worker(index: int) -> None:
         client = ServingClient(router.url, timeout=60.0)
         mine = users[index::N_THREADS]
+        gaps = loadgen.poisson_gaps(4096, RESTART_PACE_HZ, seed=4000 + index)
+        sent = 0
         round_no = 0
         try:
             while not stop.is_set():
                 for user in mine:
+                    time.sleep(gaps[sent % len(gaps)])
+                    sent += 1
+                    if stop.is_set():
+                        return
                     begin = time.perf_counter()
                     client.ingest(
                         user, (user * 11 + round_no) % bench_split.n_items
@@ -212,12 +225,12 @@ def test_bench_cluster_restart_tail(
         assert supervisor.states()[victim] == RUNNING
         assert supervisor.restart_counts()[victim] >= 1
 
-        values = np.asarray(latencies, dtype=np.float64) * 1e3
-        p99 = float(np.percentile(values, 99))
+        tail = loadgen.percentiles_ms(latencies)
         report = (
-            f"restart tail: {len(latencies)} ingest+recommend pairs, "
-            f"p50 {float(np.percentile(values, 50)):.1f}ms, "
-            f"p99 {p99:.1f}ms, {degraded[0]} degraded answer(s)"
+            f"restart tail: {len(latencies)} ingest+recommend pairs at "
+            f"~{N_THREADS * RESTART_PACE_HZ:.0f} pairs/s offered, "
+            f"p50 {tail['p50_ms']}ms, p95 {tail['p95_ms']}ms, "
+            f"p99 {tail['p99_ms']}ms, {degraded[0]} degraded answer(s)"
         )
         print()
         print(report)
@@ -225,10 +238,11 @@ def test_bench_cluster_restart_tail(
             "cluster",
             "restart_tail",
             pairs=len(latencies),
-            p50_ms=round(float(np.percentile(values, 50)), 2),
-            p99_ms=round(p99, 2),
+            pace_hz=RESTART_PACE_HZ,
+            threads=N_THREADS,
             degraded_answers=degraded[0],
             shards=4,
+            **tail,
         )
     finally:
         stop.set()

@@ -1,28 +1,30 @@
-"""Bench: micro-batched serving throughput vs one-request-at-a-time.
+"""Bench: serving throughput and bursty-arrival tail latency by mode.
 
-The guard drives the same held-out event stream through two
-:class:`~repro.serving.service.RecommendService` instances that differ
-only in batching policy:
+Two guards over the same heavy-window TS-PPR workload (|W| = 250, dense
+targets, large candidate sets — the engine bench's regime where the
+session walk dominates):
 
-* **naive** — ``max_batch=1``: every recommend request is scored alone,
-  so each one pays the full session walk to its position;
-* **micro-batched** — ``max_batch=64`` with a short straggler wait:
-  concurrent requests coalesce, group by user, and are answered with one
-  ``recommend_batch`` call whose ascending-``t`` queries amortize the
-  window/feature walk exactly as the offline engine does.
+* **Flood throughput** — the held-out stream is submitted
+  asynchronously (ingest + submit without waiting) so the queue backs
+  up, and three services race: **naive** (``max_batch=1``),
+  **micro-batched** (``max_batch=64``, 2ms straggler wait), and
+  **in-flight** (continuously fed packed batch). Both batched modes
+  must reach **>= 3x naive throughput**, and all three must return
+  answers identical to the offline protocol's — batching is a latency
+  decision, never an accuracy one.
+* **Bursty tail** — the *same* seeded bursty arrival schedule (calm
+  Poisson singles punctuated by simultaneous bursts, from the shared
+  ``loadgen`` fixture) is replayed against micro-batch and in-flight
+  services. Micro-batching pays its straggler wait on every calm
+  single and drain-then-refill head-of-line time on every burst; the
+  in-flight loop admits at kernel boundaries and waits for nothing.
+  The guard requires in-flight p50 **and** p99 below micro-batch's at
+  equal-or-better completed throughput.
 
-The workload is the engine bench's heavy-window regime (|W| = 250,
-dense targets, large candidate sets) where the walk dominates, and the
-driver submits asynchronously (ingest + submit without waiting) so the
-queue actually backs up into full batches — the shape a loaded server
-sees. The assertion requires **micro-batched >= 3x naive throughput**
-for TS-PPR, and both modes must return *identical* recommendation
-lists, equal to the offline protocol's (batching is a latency decision,
-never an accuracy one).
-
-Measured throughput, latency percentiles (p50/p95/p99 including queue
-time), and the speedup are recorded to ``BENCH_serving.json`` via the
-session-scoped ``bench_record`` fixture.
+Throughput, p50/p95/p99 (including queue time), and the speedups are
+recorded to ``BENCH_serving.json`` via the session-scoped
+``bench_record`` fixture; CI's bench-smoke job diffs the in-flight
+bursty p99 against the committed baseline.
 """
 
 from __future__ import annotations
@@ -46,7 +48,7 @@ pytestmark = pytest.mark.bench
 BENCH_WINDOW = WindowConfig(window_size=250, min_gap=10)
 
 #: Dense-target generator — the engine bench's recipe: long sequences
-#: make the per-request session walk the dominant cost the micro-batch
+#: make the per-request session walk the dominant cost that batching
 #: amortizes away.
 BENCH_SYNTH = SyntheticConfig(
     name="serving-bench",
@@ -64,6 +66,21 @@ BENCH_SYNTH = SyntheticConfig(
 
 TOP_N = 10
 REPS = 2
+TAIL_REPS = 4
+
+#: Bursty-schedule shape: calm Poisson singles at 400 Hz, a 16-request
+#: burst after every 32 calm arrivals. The population is calm-heavy and
+#: kernels are short relative to the micro-batcher's fixed 2ms
+#: straggler wait, so the wait is the dominant per-request constant:
+#: every calm single pays it in full, and singles colliding with a
+#: burst drain stack it on top of head-of-line time. The in-flight loop
+#: pays neither — requests admit at the next kernel boundary — which is
+#: where continuous admission separates from drain-then-refill at every
+#: percentile. (Burst-heavy schedules instead make both modes
+#: scoring-bound on the same per-user kernels and their tails
+#: converge.)
+BURSTY = dict(calm_rate_hz=400.0, burst_size=16, calm_between=32)
+BURSTY_EVENTS = 840
 
 
 @pytest.fixture(scope="module")
@@ -95,25 +112,38 @@ def _interleaved_stream(split) -> List[Tuple[int, int]]:
     return stream
 
 
-def _drive(model, split, stream, max_batch, max_wait_ms):
-    """Async replay: submit-without-waiting + ingest, then drain.
+def _service_config(split, **overrides) -> ServiceConfig:
+    return ServiceConfig(
+        window=BENCH_WINDOW,
+        default_k=TOP_N,
+        n_items=split.n_items,
+        **overrides,
+    )
+
+
+def _drive(model, split, stream, arrival_times=None, **config_overrides):
+    """Replay ``stream`` through one service; optionally paced.
+
+    Without ``arrival_times`` this is the flood driver: submit-without-
+    waiting + ingest as fast as the loop runs, then drain — the maximum-
+    throughput shape. With ``arrival_times`` (one offset per event, from
+    the shared load generator) each event waits for its scheduled
+    arrival, so every mode sees the identical arrival process.
 
     Returns (elapsed seconds, per-user answer lists, per-request
     latencies in seconds).
     """
-    config = ServiceConfig(
-        window=BENCH_WINDOW,
-        default_k=TOP_N,
-        max_batch=max_batch,
-        max_wait_ms=max_wait_ms,
-        n_items=split.n_items,
-    )
+    config = _service_config(split, **config_overrides)
     answers: Dict[int, List[List[int]]] = {u: [] for u in range(split.n_users)}
     pending = []
     with service_for_split(model, split, config=config) as service:
         store = service.store
         start = time.perf_counter()
-        for user, item in stream:
+        for index, (user, item) in enumerate(stream):
+            if arrival_times is not None:
+                delay = arrival_times[index] - (time.perf_counter() - start)
+                if delay > 0:
+                    time.sleep(delay)
             with store.lock:
                 session = store.get(user)
                 is_target = session.is_next_target(item) and bool(
@@ -147,54 +177,84 @@ def _offline_reference(model, split) -> Dict[int, List[List[int]]]:
     return reference
 
 
-def _percentiles_ms(latencies: List[float]) -> Dict[str, float]:
-    values = np.asarray(latencies, dtype=np.float64) * 1e3
-    return {
-        "p50_ms": round(float(np.percentile(values, 50)), 3),
-        "p95_ms": round(float(np.percentile(values, 95)), 3),
-        "p99_ms": round(float(np.percentile(values, 99)), 3),
-    }
-
-
-def _best_drive(model, split, stream, max_batch, max_wait_ms):
+def _best_drive(model, split, stream, arrival_times=None, **overrides):
+    """Best of ``REPS`` by elapsed time — the flood-throughput metric."""
     best = (float("inf"), None, None)
     for _ in range(REPS):
-        run = _drive(model, split, stream, max_batch, max_wait_ms)
+        run = _drive(model, split, stream, arrival_times, **overrides)
         if run[0] < best[0]:
             best = run
     return best
 
 
-def test_bench_serving_speedup(bench_split, bench_model, bench_record):
+def _paired_tail_drives(model, split, stream, arrival_times, configs):
+    """Best of ``TAIL_REPS`` by p99 per config — the paced-tail metric.
+
+    Paced runs all take the same wall-clock (the schedule dictates it),
+    so selecting by elapsed time would pick a random rep; selecting by
+    the guarded percentile suppresses scheduler noise — a single GC or
+    OS stall inside one burst elevates ~20 request latencies and owns
+    that rep's p99. The configs are *interleaved* within each rep
+    (micro, in-flight, micro, in-flight, ...) so slow drift in machine
+    load lands on both modes instead of on whichever ran last. Answers
+    must agree across reps (and across modes, asserted by the caller).
+
+    Returns ``{name: (elapsed, answers, latencies)}``.
+    """
+    best = {}
+    for _ in range(TAIL_REPS):
+        for name, overrides in configs:
+            elapsed, answers, latencies = _drive(
+                model, split, stream, arrival_times, **overrides
+            )
+            p99 = np.percentile(np.asarray(latencies, dtype=np.float64), 99)
+            prior = best.get(name)
+            if prior is not None:
+                assert answers == prior[1], "answers changed between reps"
+            if prior is None or p99 < prior[3]:
+                best[name] = (elapsed, answers, latencies, p99)
+    return {name: run[:3] for name, run in best.items()}
+
+
+def test_bench_serving_speedup(bench_split, bench_model, bench_record, loadgen):
     stream = _interleaved_stream(bench_split)
 
     naive_s, naive_answers, naive_lat = _best_drive(
-        bench_model, bench_split, stream, max_batch=1, max_wait_ms=0.0
+        bench_model, bench_split, stream,
+        batching="microbatch", max_batch=1, max_wait_ms=0.0,
     )
-    batched_s, batched_answers, batched_lat = _best_drive(
-        bench_model, bench_split, stream, max_batch=64, max_wait_ms=2.0
+    micro_s, micro_answers, micro_lat = _best_drive(
+        bench_model, bench_split, stream,
+        batching="microbatch", max_batch=64, max_wait_ms=2.0,
+    )
+    inflight_s, inflight_answers, inflight_lat = _best_drive(
+        bench_model, bench_split, stream, batching="inflight",
     )
 
     # Accuracy first: batching must never change a single answer.
     reference = _offline_reference(bench_model, bench_split)
-    assert batched_answers == naive_answers
-    assert batched_answers == reference
+    assert micro_answers == naive_answers
+    assert inflight_answers == naive_answers
+    assert inflight_answers == reference
 
     n_requests = len(naive_lat)
-    assert n_requests == len(batched_lat) > 0
-    speedup = naive_s / batched_s
+    assert n_requests == len(micro_lat) == len(inflight_lat) > 0
+    micro_speedup = naive_s / micro_s
+    inflight_speedup = naive_s / inflight_s
     report = (
         f"serving: {n_requests} requests over {len(stream)} events; "
         f"naive {naive_s:.3f}s ({n_requests / naive_s:.1f} req/s), "
-        f"micro-batched {batched_s:.3f}s "
-        f"({n_requests / batched_s:.1f} req/s), speedup {speedup:.2f}x"
+        f"micro-batched {micro_s:.3f}s ({n_requests / micro_s:.1f} req/s, "
+        f"{micro_speedup:.2f}x), in-flight {inflight_s:.3f}s "
+        f"({n_requests / inflight_s:.1f} req/s, {inflight_speedup:.2f}x)"
     )
     print()
     print(report)
 
     for name, elapsed, latencies in (
         ("naive", naive_s, naive_lat),
-        ("micro_batched", batched_s, batched_lat),
+        ("micro_batched", micro_s, micro_lat),
+        ("inflight", inflight_s, inflight_lat),
     ):
         bench_record(
             "serving",
@@ -203,12 +263,13 @@ def test_bench_serving_speedup(bench_split, bench_model, bench_record):
             requests=n_requests,
             events=len(stream),
             requests_per_s=round(n_requests / elapsed, 1),
-            **_percentiles_ms(latencies),
+            **loadgen.percentiles_ms(latencies),
         )
     bench_record(
         "serving",
         "tsppr_speedup",
-        speedup=round(speedup, 3),
+        micro_batched=round(micro_speedup, 3),
+        inflight=round(inflight_speedup, 3),
         window_size=BENCH_WINDOW.window_size,
         min_gap=BENCH_WINDOW.min_gap,
         max_batch=64,
@@ -216,5 +277,75 @@ def test_bench_serving_speedup(bench_split, bench_model, bench_record):
     )
 
     # The headline guard: coalescing into per-user recommend_batch calls
-    # must amortize the session walk by a wide margin.
-    assert speedup >= 3.0, report
+    # must amortize the session walk by a wide margin — in both modes.
+    assert micro_speedup >= 3.0, report
+    assert inflight_speedup >= 3.0, report
+
+
+def test_bench_serving_bursty_tail(
+    bench_split, bench_model, bench_record, loadgen
+):
+    """p99 under bursty Poisson arrivals: in-flight must beat micro-batch."""
+    stream = _interleaved_stream(bench_split)[:BURSTY_EVENTS]
+    arrivals = loadgen.bursty_times(len(stream), seed=808, **BURSTY)
+
+    runs = _paired_tail_drives(
+        bench_model, bench_split, stream, arrivals,
+        [
+            ("micro", dict(batching="microbatch", max_batch=64, max_wait_ms=2.0)),
+            ("inflight", dict(batching="inflight")),
+        ],
+    )
+    micro_s, micro_answers, micro_lat = runs["micro"]
+    inflight_s, inflight_answers, inflight_lat = runs["inflight"]
+
+    assert micro_answers == inflight_answers
+    n_requests = len(micro_lat)
+    assert n_requests == len(inflight_lat) > 50
+
+    micro = loadgen.percentiles_ms(micro_lat)
+    inflight = loadgen.percentiles_ms(inflight_lat)
+    micro_rps = n_requests / micro_s
+    inflight_rps = n_requests / inflight_s
+    report = (
+        f"bursty tail: {n_requests} requests over {len(stream)} paced "
+        f"events; micro-batch p50 {micro['p50_ms']}ms / "
+        f"p99 {micro['p99_ms']}ms at {micro_rps:.1f} req/s, in-flight "
+        f"p50 {inflight['p50_ms']}ms / p99 {inflight['p99_ms']}ms at "
+        f"{inflight_rps:.1f} req/s"
+    )
+    print()
+    print(report)
+
+    bench_record(
+        "serving",
+        "tsppr_bursty_microbatch",
+        elapsed_s=round(micro_s, 3),
+        requests=n_requests,
+        requests_per_s=round(micro_rps, 1),
+        **micro,
+    )
+    bench_record(
+        "serving",
+        "tsppr_bursty_inflight",
+        elapsed_s=round(inflight_s, 3),
+        requests=n_requests,
+        requests_per_s=round(inflight_rps, 1),
+        **inflight,
+    )
+    bench_record(
+        "serving",
+        "tsppr_bursty_schedule",
+        events=len(stream),
+        p99_ratio=round(inflight["p99_ms"] / micro["p99_ms"], 3),
+        seed=808,
+        **BURSTY,
+    )
+
+    # The tentpole guard: at the same arrival schedule (equal offered
+    # load, equal-or-better completed throughput), continuous admission
+    # must cut both the typical latency — calm singles skip the
+    # straggler wait entirely — and the bursty tail.
+    assert inflight_rps >= 0.9 * micro_rps, report
+    assert inflight["p50_ms"] < micro["p50_ms"], report
+    assert inflight["p99_ms"] < micro["p99_ms"], report

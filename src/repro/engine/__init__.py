@@ -15,6 +15,9 @@ path:
 * :class:`~repro.engine.features.SessionFeatureMatrix` — vectorized
   construction of the behavioural feature matrix ``f_uvt`` from session
   state, reproducing each extractor's scalar arithmetic exactly.
+* :class:`~repro.engine.packed.PackedCandidateBatch` — contiguous
+  cu_seqlens-style candidate storage for the serving layer's
+  continuously batched (in-flight) scoring loop.
 
 Models consume these through
 :meth:`repro.models.base.Recommender.score_batch`; the evaluation
@@ -25,8 +28,10 @@ shard users across a process pool (``workers=N``).
 from repro.engine.query import Query, iter_queries_in_order
 from repro.engine.session import ScoringSession, fingerprint_state
 from repro.engine.features import SessionFeatureMatrix
+from repro.engine.packed import PackedCandidateBatch
 
 __all__ = [
+    "PackedCandidateBatch",
     "Query",
     "ScoringSession",
     "SessionFeatureMatrix",

@@ -1,0 +1,175 @@
+"""Packed candidate storage for continuously batched scoring.
+
+The in-flight serving loop keeps many requests "in the batch" at once
+and admits/retires them at every kernel boundary. Re-materializing each
+request's candidate tuple per boundary would churn Python objects in
+the hottest loop of the server; :class:`PackedCandidateBatch` instead
+keeps every in-flight request's candidates as **rows of one contiguous
+int64 buffer** with per-request offsets — the ``cu_seqlens`` layout of
+variable-length batch kernels (each request ``i`` owns rows
+``cu_seqlens[i]:cu_seqlens[i+1]``).
+
+Admission appends rows at the write cursor (amortized O(1) per row,
+doubling growth). Retirement is lazy: rows are only marked dead, and the
+buffer is compacted — live rows copied front-to-back, preserving
+admission order — once dead rows outnumber live ones, so admit/retire
+cycles cost O(1) amortized per row rather than O(total) each.
+
+The structure is deliberately model-agnostic: the serving loop slices a
+request's row range out of the buffer to build the
+:class:`~repro.engine.query.Query` objects it feeds
+``recommend_batch`` (whose kernels walk a
+:class:`~repro.engine.session.ScoringSession` and fill feature rows via
+:class:`~repro.engine.features.SessionFeatureMatrix`), and reads
+``live_rows`` for admission control and occupancy metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EngineError
+
+#: Initial row capacity of the packed buffer.
+_INITIAL_CAPACITY = 256
+
+
+class PackedCandidateBatch:
+    """Candidate rows of the in-flight request set, packed contiguously.
+
+    Keys are caller-chosen hashables (the service uses request ids). A
+    key is *live* from :meth:`admit` until :meth:`retire`; its rows stay
+    addressable for exactly that span.
+    """
+
+    __slots__ = ("_buffer", "_spans", "_end", "_live_rows")
+
+    def __init__(self) -> None:
+        self._buffer = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        #: key -> (start, length) into the buffer, in admission order
+        #: (dict preserves insertion order; compaction rebuilds it).
+        self._spans: Dict[object, Tuple[int, int]] = {}
+        self._end = 0
+        self._live_rows = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of live (admitted, not yet retired) requests."""
+        return len(self._spans)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._spans
+
+    @property
+    def live_rows(self) -> int:
+        """Total candidate rows currently owned by live requests."""
+        return self._live_rows
+
+    @property
+    def dead_rows(self) -> int:
+        """Rows of retired requests not yet reclaimed by compaction."""
+        return self._end - self._live_rows
+
+    def cu_seqlens(self) -> np.ndarray:
+        """Cumulative row offsets of the live requests, admission order.
+
+        ``cu_seqlens()[i]:cu_seqlens()[i+1]`` is request ``i``'s row
+        range in :meth:`packed_candidates` — the standard variable-length
+        batch layout. Length is ``len(self) + 1``; starts at 0.
+        """
+        lengths = [length for _, length in self._spans.values()]
+        out = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=out[1:])
+        return out
+
+    def packed_candidates(self) -> np.ndarray:
+        """Live candidate rows as one contiguous array, admission order."""
+        if self.dead_rows:
+            self._compact()
+        return self._buffer[: self._end].copy()
+
+    # ------------------------------------------------------------------
+    # Admission / retirement
+    # ------------------------------------------------------------------
+    def admit(self, key: object, candidates: Sequence[int]) -> int:
+        """Append ``candidates`` as ``key``'s rows; returns the row count."""
+        if key in self._spans:
+            raise EngineError(f"request {key!r} is already in the batch")
+        rows = np.asarray(candidates, dtype=np.int64)
+        length = int(rows.size)
+        if self._end + length > self._buffer.size:
+            self._grow(length)
+        self._buffer[self._end : self._end + length] = rows
+        self._spans[key] = (self._end, length)
+        self._end += length
+        self._live_rows += length
+        return length
+
+    def retire(self, key: object) -> int:
+        """Release ``key``'s rows; returns the row count freed."""
+        span = self._spans.pop(key, None)
+        if span is None:
+            raise EngineError(f"request {key!r} is not in the batch")
+        length = span[1]
+        self._live_rows -= length
+        if self.dead_rows > self._live_rows:
+            self._compact()
+        return length
+
+    def candidates_of(self, key: object) -> np.ndarray:
+        """``key``'s candidate rows (a view — copy to retain past retire)."""
+        try:
+            start, length = self._spans[key]
+        except KeyError:
+            raise EngineError(f"request {key!r} is not in the batch") from None
+        return self._buffer[start : start + length]
+
+    def candidate_list_of(self, key: object) -> List[int]:
+        """``key``'s candidates as plain Python ints.
+
+        This is what the serving loop feeds
+        :class:`~repro.engine.query.Query`: the kernels' dict lookups
+        and ranking arithmetic see exactly the ints captured at submit
+        time, so packing is invisible to scoring.
+        """
+        return self.candidates_of(key).tolist()
+
+    # ------------------------------------------------------------------
+    # Storage management
+    # ------------------------------------------------------------------
+    def _grow(self, incoming: int) -> None:
+        """Compact away dead rows, then double until ``incoming`` fits."""
+        if self.dead_rows:
+            self._compact()
+        capacity = max(self._buffer.size, _INITIAL_CAPACITY)
+        while self._end + incoming > capacity:
+            capacity *= 2
+        if capacity != self._buffer.size:
+            buffer = np.empty(capacity, dtype=np.int64)
+            buffer[: self._end] = self._buffer[: self._end]
+            self._buffer = buffer
+
+    def _compact(self) -> None:
+        """Copy live rows front-to-back, preserving admission order."""
+        cursor = 0
+        spans: Dict[object, Tuple[int, int]] = {}
+        buffer = self._buffer
+        for key, (start, length) in self._spans.items():
+            if start != cursor:
+                buffer[cursor : cursor + length] = buffer[
+                    start : start + length
+                ]
+            spans[key] = (cursor, length)
+            cursor += length
+        self._spans = spans
+        self._end = cursor
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedCandidateBatch(requests={len(self)}, "
+            f"live_rows={self._live_rows}, dead_rows={self.dead_rows})"
+        )

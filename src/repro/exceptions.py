@@ -28,6 +28,10 @@ class FeatureError(ReproError):
     """A behavioural feature is misconfigured or queried out of range."""
 
 
+class EngineError(ReproError):
+    """The batch-scoring engine was driven through an invalid transition."""
+
+
 class SamplingError(ReproError):
     """Training-quadruple sampling cannot proceed (e.g. no candidates)."""
 

@@ -87,6 +87,39 @@ def build_model(
     return model.fit(split)
 
 
+def add_batching_arguments(parser: argparse.ArgumentParser) -> None:
+    """Scoring-loop options shared by ``serve`` and ``cluster``."""
+    parser.add_argument(
+        "--batching",
+        default="inflight",
+        choices=("inflight", "microbatch"),
+        help="scoring loop: continuously fed packed batch (inflight) or "
+        "drain-then-refill micro-batches (microbatch); answers are "
+        "bit-identical either way",
+    )
+    parser.add_argument(
+        "--check-interval",
+        type=int,
+        default=16,
+        help="in-flight mode: max queries scored per model call — the "
+        "kernel-boundary granularity at which requests admit and retire",
+    )
+    parser.add_argument(
+        "--max-inflight-rows",
+        type=int,
+        default=32768,
+        help="in-flight mode: admission-control bound on packed candidate "
+        "rows; requests beyond it wait in the overflow queue",
+    )
+    parser.add_argument(
+        "--admission-wait-ms",
+        type=float,
+        default=0.0,
+        help="in-flight mode: optional growth-gated coalescing wait at the "
+        "start of a busy period (0 = admit and score immediately)",
+    )
+
+
 def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     """``serve`` options, shared by repro-serve and repro-experiments."""
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -127,8 +160,9 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "--max-wait-ms",
         type=float,
         default=2.0,
-        help="how long a batch waits for stragglers",
+        help="micro-batch mode: how long a batch waits for stragglers",
     )
+    add_batching_arguments(parser)
     parser.add_argument(
         "--deadline-ms",
         type=float,
@@ -202,6 +236,7 @@ def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("always", "interval", "never"),
         help="durability policy of every shard WAL",
     )
+    add_batching_arguments(parser)
     parser.add_argument(
         "--heartbeat-interval",
         type=float,
@@ -286,8 +321,12 @@ def run_serve(args: argparse.Namespace) -> int:
     )
     config = ServiceConfig(
         default_deadline_ms=args.deadline_ms,
+        batching=args.batching,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        check_interval=args.check_interval,
+        max_inflight_rows=args.max_inflight_rows,
+        admission_wait_ms=args.admission_wait_ms,
         n_items=split.n_items,
     )
     service = service_for_split(
@@ -321,7 +360,12 @@ def run_cluster(args: argparse.Namespace) -> int:
     split = build_split(args.dataset, args.seed)
     model = build_model(args.model, split, args.max_epochs, args.seed)
     config = ServiceConfig(
-        default_deadline_ms=args.deadline_ms, n_items=split.n_items
+        default_deadline_ms=args.deadline_ms,
+        batching=args.batching,
+        check_interval=args.check_interval,
+        max_inflight_rows=args.max_inflight_rows,
+        admission_wait_ms=args.admission_wait_ms,
+        n_items=split.n_items,
     )
     supervisor = ShardSupervisor(
         split,

@@ -17,6 +17,12 @@ Histograms are **exactly mergeable**: all internal state is integral
 snapshots is associative and order-independent — the cluster router's
 ``/metrics`` aggregation via :func:`merge_snapshots` is exact, not an
 approximation.
+
+Besides durations, the in-flight batching loop samples *depth-like*
+integers at every kernel boundary — request-queue depth and
+packed-batch occupancy (live candidate rows). Those land in
+:class:`GaugeStats`: count/total/max in plain integers, so the same
+exact-merge guarantee holds for the ``gauges`` block of a snapshot.
 """
 
 from __future__ import annotations
@@ -145,6 +151,59 @@ class LatencyHistogram:
         }
 
 
+class GaugeStats:
+    """Exactly mergeable summary of an integer-valued gauge.
+
+    Queue depth and batch occupancy are sampled at kernel boundaries;
+    what matters operationally is how deep they run on average and at
+    worst. State is three integers (count, total, max), so merging is
+    associative, order-independent, and lossless — the same contract as
+    :class:`LatencyHistogram`, for depth-like numbers.
+    """
+
+    __slots__ = ("n", "total", "max_seen")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0
+        self.max_seen = 0
+
+    def observe(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            raise ValueError(f"gauge samples must be non-negative, got {value}")
+        self.n += 1
+        self.total += value
+        if value > self.max_seen:
+            self.max_seen = value
+
+    def state_dict(self) -> Dict[str, int]:
+        """JSON-ready full state; :meth:`from_state` round-trips it."""
+        return {"n": self.n, "total": self.total, "max": self.max_seen}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "GaugeStats":
+        gauge = cls()
+        gauge.n = int(state["n"])  # type: ignore[arg-type]
+        gauge.total = int(state["total"])  # type: ignore[arg-type]
+        gauge.max_seen = int(state["max"])  # type: ignore[arg-type]
+        return gauge
+
+    def merge(self, other: "GaugeStats") -> "GaugeStats":
+        """Fold ``other`` in. Exact: integer adds and a max."""
+        self.n += other.n
+        self.total += other.total
+        self.max_seen = max(self.max_seen, other.max_seen)
+        return self
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.n,
+            "mean": round(self.total / self.n, 3) if self.n else 0.0,
+            "max": self.max_seen,
+        }
+
+
 class ServingMetrics:
     """Thread-safe registry of every number the service exposes."""
 
@@ -155,7 +214,11 @@ class ServingMetrics:
             "events": 0,
             "recommendations": 0,
             "empty_candidate_requests": 0,
+            "scored_answers": 0,
+            "fallback_answers": 0,
             "deadline_fallbacks": 0,
+            "fallbacks_queue_expired": 0,
+            "fallbacks_scoring_overrun": 0,
             "duplicate_events": 0,
             "errors": 0,
             "batches": 0,
@@ -164,6 +227,12 @@ class ServingMetrics:
         self._histograms: Dict[str, LatencyHistogram] = {
             "request_latency": LatencyHistogram(),
             "scoring_latency": LatencyHistogram(),
+            "admission_wait": LatencyHistogram(),
+        }
+        self._gauges: Dict[str, GaugeStats] = {
+            "queue_depth": GaugeStats(),
+            "batch_occupancy_rows": GaugeStats(),
+            "inflight_requests": GaugeStats(),
         }
 
     def inc(self, name: str, amount: int = 1) -> None:
@@ -176,6 +245,13 @@ class ServingMetrics:
             if histogram is None:
                 histogram = self._histograms[name] = LatencyHistogram()
             histogram.observe(seconds)
+
+    def observe_gauge(self, name: str, value: int) -> None:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = GaugeStats()
+            gauge.observe(value)
 
     def counter(self, name: str) -> int:
         with self._lock:
@@ -195,11 +271,20 @@ class ServingMetrics:
                 name: histogram.state_dict()
                 for name, histogram in self._histograms.items()
             }
+            gauges = {
+                name: gauge.summary() for name, gauge in self._gauges.items()
+            }
+            gauge_states = {
+                name: gauge.state_dict()
+                for name, gauge in self._gauges.items()
+            }
         batches = counters.get("batches", 0)
         payload: Dict[str, object] = {
             "counters": counters,
             "latency": latencies,
             "histogram_state": states,
+            "gauges": gauges,
+            "gauge_state": gauge_states,
             "mean_batch_size": (
                 round(counters.get("batched_requests", 0) / batches, 3)
                 if batches
@@ -237,6 +322,7 @@ def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]
     """
     counters: Dict[str, int] = {}
     histograms: Dict[str, LatencyHistogram] = {}
+    gauges: Dict[str, GaugeStats] = {}
     cache: Dict[str, float] = {}
     saw_cache = False
     for snapshot in snapshots:
@@ -248,6 +334,12 @@ def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]
                 histograms[name].merge(incoming)
             else:
                 histograms[name] = incoming
+        for name, state in snapshot.get("gauge_state", {}).items():  # type: ignore[union-attr]
+            incoming_gauge = GaugeStats.from_state(state)
+            if name in gauges:
+                gauges[name].merge(incoming_gauge)
+            else:
+                gauges[name] = incoming_gauge
         session_cache = snapshot.get("session_cache")
         if session_cache is not None:
             saw_cache = True
@@ -261,6 +353,10 @@ def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]
         },
         "histogram_state": {
             name: histograms[name].state_dict() for name in sorted(histograms)
+        },
+        "gauges": {name: gauges[name].summary() for name in sorted(gauges)},
+        "gauge_state": {
+            name: gauges[name].state_dict() for name in sorted(gauges)
         },
         "mean_batch_size": (
             round(counters.get("batched_requests", 0) / batches, 3)

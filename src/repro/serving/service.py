@@ -9,19 +9,36 @@ moving parts:
 * an optional :class:`~repro.serving.events.EventLog` written
   write-ahead (the event is durable *before* it mutates session state),
   which makes crash recovery a pure replay;
-* a **micro-batching** scoring loop: concurrent recommend requests are
-  coalesced from a queue into batches (up to ``max_batch``, waiting at
-  most ``max_wait_ms`` for stragglers), grouped by user, and answered
-  with one :meth:`~repro.models.base.Recommender.recommend_batch` call
-  per user — so the engine's session-walk kernels amortize window and
-  feature state across requests exactly as they do offline.
+* a scoring loop in one of two batching modes (``config.batching``):
+
+  - ``"inflight"`` (default) — a **continuously fed packed batch**:
+    admitted requests live as rows of a
+    :class:`~repro.engine.packed.PackedCandidateBatch` (cu_seqlens-style
+    offsets over one contiguous candidate buffer), and the loop
+    *admits newly submitted requests and retires completed ones at
+    every kernel boundary* — after each chunk of at most
+    ``check_interval`` queries — instead of only between batches.
+    Users take round-robin turns at the boundaries, so one slow
+    multi-user batch can no longer stall every queued request
+    (head-of-line blocking), and there is no fixed straggler wait:
+    whatever is admitted is scored immediately.
+  - ``"microbatch"`` — the drain-then-refill reference loop: requests
+    are coalesced from the queue into batches (up to ``max_batch``,
+    waiting at most ``max_wait_ms`` for stragglers), grouped by user,
+    and fully drained before the next batch forms.
+
+  Both modes answer each user group with
+  :meth:`~repro.models.base.Recommender.recommend_batch` calls, so the
+  engine's session-walk kernels amortize window and feature state
+  across a user's requests exactly as they do offline.
 
 Correctness contract: a request's position ``t`` and candidate set are
 captured synchronously at submit time under the store lock, so whatever
-batch shape the queue produces, each request is answered from exactly
-the history before its ``t`` — recommendations are bit-identical to the
-offline evaluation protocol and independent of batching, concurrency,
-or timing.
+shape the scoring loop produces — micro-batches, or packed rows admitted
+and retired mid-batch — each request is answered from exactly the
+history before its ``t``: recommendations are bit-identical to the
+offline evaluation protocol, to the other batching mode, and independent
+of batching, concurrency, or timing.
 
 Deadlines degrade gracefully instead of failing: each request may carry
 a deadline; when the model misses it (or the request expired while
@@ -38,13 +55,15 @@ import itertools
 import queue
 import threading
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 import numpy as np
 
 from repro.config import WindowConfig
 from repro.data.split import SplitDataset
+from repro.engine.packed import PackedCandidateBatch
 from repro.engine.query import Query
 from repro.exceptions import ServingError
 from repro.logging_utils import get_logger
@@ -67,13 +86,51 @@ class ServiceConfig:
         The RRC protocol parameters sessions are built with.
     default_k:
         Top-N size when a request does not specify one.
+    batching:
+        Scoring-loop mode: ``"inflight"`` (continuously fed packed
+        batch, the default) or ``"microbatch"`` (drain-then-refill
+        reference loop). Both produce bit-identical answers; they
+        differ only in latency shape under load.
     max_batch:
-        Maximum requests coalesced into one scoring batch;
-        ``max_batch=1`` disables micro-batching (the naive
-        one-request-at-a-time loop the benchmark compares against).
+        Micro-batch mode only: maximum requests coalesced into one
+        scoring batch; ``max_batch=1`` disables micro-batching (the
+        naive one-request-at-a-time loop the benchmark compares
+        against).
     max_wait_ms:
-        How long the batcher waits for stragglers after the first
-        request of a batch arrives.
+        Micro-batch mode only: how long the batcher waits for
+        stragglers after the first request of a batch arrives — a
+        fixed cost paid by every batch.
+    admission_wait_ms:
+        In-flight mode only: upper bound of an optional *growth-gated*
+        admission wait at the start of a busy period. When positive,
+        the loop keeps admitting while the backlog is still growing (a
+        burst arriving over the submitters' milliseconds coalesces into
+        full per-user kernels instead of fragmenting) but stops the
+        moment one poll sees no growth — so a lone calm-phase request
+        waits about one poll (~0.5ms), never this bound. The default 0
+        disables the gate entirely: the first request starts scoring
+        immediately and the kernel's own duration coalesces the rest of
+        a burst at the next boundary, which measures faster at every
+        percentile unless kernels are much shorter than a burst's
+        arrival spread. Once kernels are running, boundaries admit
+        continuously with no waiting in either setting.
+    max_inflight_rows:
+        In-flight mode only: admission-control bound on the total
+        candidate rows of the packed batch. Requests beyond it wait in
+        the overflow queue (FIFO) until rows retire; a single oversized
+        request is still admitted when the batch is empty, so no
+        request can starve.
+    check_interval:
+        In-flight mode only: the kernel-boundary granularity — at most
+        this many queries are scored per ``recommend_batch`` call
+        before the loop re-checks admissions, retirements, and
+        deadlines.
+    manual_pump:
+        When true, no background scoring thread is started; the loop
+        only runs when :meth:`RecommendService.pump` (or
+        :meth:`RecommendService.recommend`, which pumps for you) is
+        called on the caller's thread. Deterministic single-threaded
+        driving for tests and replay harnesses.
     default_deadline_ms:
         Deadline applied to requests that do not carry their own;
         ``None`` disables deadlines (requests always wait for the
@@ -85,19 +142,42 @@ class ServiceConfig:
 
     window: WindowConfig = field(default_factory=WindowConfig)
     default_k: int = 10
+    batching: str = "inflight"
     max_batch: int = 64
     max_wait_ms: float = 2.0
+    admission_wait_ms: float = 0.0
+    max_inflight_rows: int = 32768
+    check_interval: int = 16
+    manual_pump: bool = False
     default_deadline_ms: Optional[float] = None
     n_items: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.default_k <= 0:
             raise ServingError(f"default_k must be positive, got {self.default_k}")
+        if self.batching not in ("inflight", "microbatch"):
+            raise ServingError(
+                f"batching must be 'inflight' or 'microbatch', got "
+                f"{self.batching!r}"
+            )
         if self.max_batch < 1:
             raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_wait_ms < 0:
             raise ServingError(
                 f"max_wait_ms must be non-negative, got {self.max_wait_ms}"
+            )
+        if self.admission_wait_ms < 0:
+            raise ServingError(
+                f"admission_wait_ms must be non-negative, got "
+                f"{self.admission_wait_ms}"
+            )
+        if self.max_inflight_rows < 1:
+            raise ServingError(
+                f"max_inflight_rows must be >= 1, got {self.max_inflight_rows}"
+            )
+        if self.check_interval < 1:
+            raise ServingError(
+                f"check_interval must be >= 1, got {self.check_interval}"
             )
         if self.default_deadline_ms is not None and self.default_deadline_ms < 0:
             raise ServingError(
@@ -188,6 +268,9 @@ class _PendingRequest:
 #: Queue sentinel telling the batching worker to exit.
 _SHUTDOWN = object()
 
+#: Poll period of the in-flight loop's growth-gated admission wait.
+_COALESCE_POLL_S = 5e-4
+
 
 class RecommendService:
     """Live recommendation service over a fitted recommender.
@@ -239,18 +322,34 @@ class RecommendService:
         self._request_ids = itertools.count()
         self._queue: "queue.Queue[object]" = queue.Queue()
         self._closed = False
-        self._worker = threading.Thread(
-            target=self._batch_loop, name="repro-serving-batcher", daemon=True
+        # Serializes scoring-loop execution between the background
+        # worker and manual pump() callers; all engine mutation happens
+        # under it.
+        self._pump_lock = threading.Lock()
+        self._engine = (
+            _InflightEngine(self) if config.batching == "inflight" else None
         )
-        self._worker.start()
+        self._worker: Optional[threading.Thread] = None
+        if not config.manual_pump:
+            target = (
+                self._inflight_loop
+                if config.batching == "inflight"
+                else self._batch_loop
+            )
+            self._worker = threading.Thread(
+                target=target, name="repro-serving-batcher", daemon=True
+            )
+            self._worker.start()
         logger.info(
-            "service started: model=%s window=(%d, %d) max_batch=%d "
-            "max_wait_ms=%.1f",
+            "service started: model=%s window=(%d, %d) batching=%s "
+            "max_batch=%d max_wait_ms=%.1f check_interval=%d",
             model.name or type(model).__name__,
             config.window.window_size,
             config.window.min_gap,
+            config.batching,
             config.max_batch,
             config.max_wait_ms,
+            config.check_interval,
         )
 
     # ------------------------------------------------------------------
@@ -392,11 +491,66 @@ class RecommendService:
         deadline_ms: Optional[float] = None,
         timeout: Optional[float] = 60.0,
     ) -> RecommendResult:
-        """Submit and wait: the synchronous request path."""
-        result = self.submit(user, k, deadline_ms).result(timeout)
+        """Submit and wait: the synchronous request path.
+
+        Under ``manual_pump`` there is no background worker, so this
+        drives :meth:`pump` on the caller's thread until the queue is
+        drained before waiting on the handle.
+        """
+        pending = self.submit(user, k, deadline_ms)
+        if self.config.manual_pump:
+            self.pump()
+        result = pending.result(timeout)
         self.metrics.observe("request_latency", result.latency_s)
         self.metrics.inc("recommendations")
         return result
+
+    def pump(self) -> int:
+        """Run the scoring loop synchronously until no work remains.
+
+        Drains every request currently queued (and, in in-flight mode,
+        everything already admitted to the packed batch) on the
+        *caller's* thread, then returns the number of requests
+        completed. This is the single-step manual-pump contract: after
+        ``pump()`` returns, every request submitted before the call has
+        been resolved — identically in both batching modes, and whether
+        or not a background worker is also running (the pump lock
+        serializes them; work is completed exactly once).
+
+        In in-flight mode the pump still advances one kernel boundary
+        at a time — at most ``check_interval`` queries per model call,
+        admitting and retiring between calls — so manual driving
+        exercises the same loop shape as the background worker.
+        """
+        completed = 0
+        if self.config.batching == "inflight":
+            engine = self._engine
+            assert engine is not None
+            while True:
+                with self._pump_lock:
+                    sentinel, _ = self._drain_submissions(engine)
+                    if sentinel:
+                        # Not ours to consume: hand it back to the worker.
+                        self._queue.put(_SHUTDOWN)
+                    if engine.idle:
+                        return completed
+                    completed += engine.step()
+        while True:
+            with self._pump_lock:
+                batch: List[_PendingRequest] = []
+                while len(batch) < self.config.max_batch:
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if item is _SHUTDOWN:
+                        # Not ours to consume: hand it back to the worker.
+                        self._queue.put(item)
+                        break
+                    batch.append(item)  # type: ignore[arg-type]
+                if not batch:
+                    return completed
+                completed += self._process_batch(batch)
 
     def step(
         self, user: int, item: int, k: Optional[int] = None
@@ -408,6 +562,13 @@ class RecommendService:
         is an RRC target with a non-empty candidate set (the
         ``collect_queries`` filter), *before* the event is applied.
         Used by the equivalence suite, the benchmark, and ``replay``.
+
+        The contract is batching-mode independent: ``step`` observes the
+        session *before* ingesting, the recommend request captures its
+        query state at submit, and the call blocks until the answer is
+        resolved — so interleaving steps with any scoring-loop mode
+        (including ``manual_pump`` driving) replays the offline walk
+        position for position.
         """
         with self.store.lock:
             session = self.store.get(int(user))
@@ -419,7 +580,7 @@ class RecommendService:
         return result
 
     # ------------------------------------------------------------------
-    # Micro-batching worker
+    # Micro-batching worker (batching="microbatch")
     # ------------------------------------------------------------------
     def _batch_loop(self) -> None:
         max_wait = self.config.max_wait_ms / 1e3
@@ -444,15 +605,19 @@ class RecommendService:
                     stop = True
                     break
                 batch.append(nxt)  # type: ignore[arg-type]
-            self._process_batch(batch)
+            with self._pump_lock:
+                self._process_batch(batch)
             if stop:
                 return
 
-    def _process_batch(self, batch: List[_PendingRequest]) -> None:
+    def _process_batch(self, batch: List[_PendingRequest]) -> int:
+        now = time.monotonic()
         self.metrics.inc("batches")
         self.metrics.inc("batched_requests", len(batch))
+        self.metrics.observe_gauge("queue_depth", self._queue.qsize())
         by_user: Dict[int, List[_PendingRequest]] = {}
         for pending in batch:
+            self.metrics.observe("admission_wait", now - pending.submitted)
             by_user.setdefault(pending.user, []).append(pending)
         for user, group in by_user.items():
             try:
@@ -465,26 +630,122 @@ class RecommendService:
                 )
                 for pending in group:
                     pending.fail(exc)
+        return len(batch)
 
-    def _score_user_group(
-        self, user: int, group: List[_PendingRequest]
+    # ------------------------------------------------------------------
+    # In-flight worker (batching="inflight")
+    # ------------------------------------------------------------------
+    def _inflight_loop(self) -> None:
+        engine = self._engine
+        assert engine is not None
+        max_wait = self.config.admission_wait_ms / 1e3
+        stop = False
+        while True:
+            if not stop and engine.idle:
+                # Nothing in flight: block for the next submission
+                # without holding the pump lock (a manual pump may run
+                # concurrently and must not be blocked by our wait).
+                head = self._queue.get()
+                if head is _SHUTDOWN:
+                    stop = True
+                else:
+                    with self._pump_lock:
+                        engine.take(head)  # type: ignore[arg-type]
+                    stop = self._coalesce_arrivals(engine, max_wait) or stop
+            with self._pump_lock:
+                sentinel, _ = self._drain_submissions(engine)
+                stop = stop or sentinel
+                if not engine.idle:
+                    engine.step()
+                    continue
+            if stop:
+                return
+
+    def _coalesce_arrivals(
+        self, engine: "_InflightEngine", max_wait: float
+    ) -> bool:
+        """Optional growth-gated admission wait at the start of a busy period.
+
+        A no-op unless ``admission_wait_ms`` is positive. When enabled:
+        a burst reaches the queue spread over the submitters'
+        milliseconds, and starting a kernel on the first fraction of it
+        fragments each user's burst across several model calls,
+        re-paying the session walk per fragment — so on idle→busy the
+        loop keeps admitting *while the backlog is still growing*,
+        polling briefly, and starts scoring as soon as one poll sees no
+        growth (or the bound is spent). A lone calm-phase request
+        therefore waits one poll (~half a millisecond), never the full
+        bound. Once the engine is busy, kernel boundaries admit
+        continuously with no waiting in either setting: a burst landing
+        mid-kernel is coalesced by the kernel's own duration. Returns
+        True on shutdown.
+        """
+        if max_wait <= 0:
+            return False
+        deadline = time.monotonic() + max_wait
+        stop = False
+        seen = engine.n_inflight + len(engine.overflow)
+        while not stop and time.monotonic() < deadline:
+            time.sleep(_COALESCE_POLL_S)
+            with self._pump_lock:
+                stop, _ = self._drain_submissions(engine)
+                size = engine.n_inflight + len(engine.overflow)
+            if size == seen:
+                break
+            seen = size
+        return stop
+
+    def _drain_submissions(self, engine: "_InflightEngine"):
+        """Move every queued submission into the engine.
+
+        Returns ``(saw_shutdown, admitted)``: whether the shutdown
+        sentinel was consumed, and how many requests were admitted.
+        """
+        stop = False
+        admitted = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Requests already queued behind the sentinel were
+                # submitted concurrently with close(); drain them too so
+                # shutdown never strands a handle.
+                stop = True
+                continue
+            engine.take(item)  # type: ignore[arg-type]
+            admitted += 1
+        return stop, admitted
+
+    def _score_user_chunk(
+        self,
+        user: int,
+        group: List[_PendingRequest],
+        candidates_of: Callable[[_PendingRequest], List[int]],
     ) -> None:
-        """Answer all of one user's requests with one batched model call."""
+        """One in-flight kernel: answer a chunk of one user's requests.
+
+        ``candidates_of`` resolves a request's candidate row range out
+        of the packed buffer; the resulting plain-int lists are exactly
+        the candidates captured at submit, so the packed layout is
+        invisible to the model.
+        """
         now = time.monotonic()
-        expired = [
-            p for p in group if p.deadline is not None and now > p.deadline
-        ]
-        live = [p for p in group if p not in expired]
-        for pending in expired:
-            # Expired while queued: don't make it later still — serve
-            # the cheap fallback immediately.
-            self._resolve_fallback(pending)
+        live: List[_PendingRequest] = []
+        for pending in group:
+            if pending.deadline is not None and now > pending.deadline:
+                # Expired while queued/admitted: don't make it later
+                # still — serve the cheap fallback immediately.
+                self._resolve_fallback(pending, cause="queue_expired")
+            else:
+                live.append(pending)
         if not live:
             return
         with self.store.lock:
             sequence = self.store.get(user).sequence()
         queries = [
-            Query(t=pending.t, candidates=pending.candidates)
+            Query(t=pending.t, candidates=candidates_of(pending))
             for pending in live
         ]
         max_k = max(pending.k for pending in live)
@@ -494,13 +755,31 @@ class RecommendService:
         finished = time.monotonic()
         for pending, ranked in zip(live, ranked_lists):
             if pending.deadline is not None and finished > pending.deadline:
-                self._resolve_fallback(pending)
+                self._resolve_fallback(pending, cause="scoring_overrun")
             else:
+                self.metrics.inc("scored_answers")
                 pending.resolve(ranked[: pending.k], degraded=False)
 
-    def _resolve_fallback(self, pending: _PendingRequest) -> None:
-        """Answer from the Recency baseline computed off captured state."""
+    def _score_user_group(
+        self, user: int, group: List[_PendingRequest]
+    ) -> None:
+        """Answer all of one user's requests with one batched model call."""
+        self._score_user_chunk(
+            user, group, lambda pending: list(pending.candidates)
+        )
+
+    def _resolve_fallback(self, pending: _PendingRequest, cause: str) -> None:
+        """Answer from the Recency baseline computed off captured state.
+
+        ``cause`` is either ``"queue_expired"`` (the deadline passed
+        before the model was ever invoked for this request) or
+        ``"scoring_overrun"`` (the model ran but finished too late);
+        the two are counted separately so a saturated queue and a slow
+        model are distinguishable in ``/metrics``.
+        """
         self.metrics.inc("deadline_fallbacks")
+        self.metrics.inc("fallback_answers")
+        self.metrics.inc(f"fallbacks_{cause}")
         if pending.lasts is None:
             # Deadline-less requests never reach here, but stay safe.
             pending.resolve([], degraded=True)
@@ -512,8 +791,8 @@ class RecommendService:
             pending.candidates, scores, pending.k, owner="serving fallback"
         )
         logger.debug(
-            "request %s user=%d t=%d: deadline missed, served Recency "
-            "fallback", pending.request_id, pending.user, pending.t,
+            "request %s user=%d t=%d: deadline missed (%s), served Recency "
+            "fallback", pending.request_id, pending.user, pending.t, cause,
         )
         pending.resolve(items, degraded=True)
 
@@ -549,12 +828,17 @@ class RecommendService:
         return self.metrics.as_dict(self.store.counters.as_dict())
 
     def close(self) -> None:
-        """Stop the batching worker and seal the event log."""
+        """Stop the batching worker, drain pending work, seal the log."""
         if self._closed:
             return
         self._closed = True
-        self._queue.put(_SHUTDOWN)
-        self._worker.join(timeout=30.0)
+        if self._worker is not None:
+            self._queue.put(_SHUTDOWN)
+            self._worker.join(timeout=30.0)
+        else:
+            # Manual-pump services have no worker; flush whatever was
+            # submitted so no handle is left hanging.
+            self.pump()
         if self.event_log is not None:
             self.event_log.close()
         logger.info("service closed")
@@ -564,6 +848,119 @@ class RecommendService:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class _InflightEngine:
+    """Mutable state of the continuously batched scoring loop.
+
+    Not thread-safe on its own: the service serializes every call
+    through its pump lock. Three structures cooperate:
+
+    * ``batch`` — the :class:`~repro.engine.packed.PackedCandidateBatch`
+      holding every admitted request's candidate rows contiguously;
+    * ``queues`` — per-user FIFO queues of admitted requests, walked
+      round-robin so each kernel boundary serves the next user in turn
+      (one user's burst cannot monopolize the loop);
+    * ``overflow`` — submissions held back by the ``max_inflight_rows``
+      admission bound, re-examined (FIFO) at every boundary.
+    """
+
+    __slots__ = ("service", "config", "batch", "queues", "overflow",
+                 "n_inflight")
+
+    def __init__(self, service: "RecommendService") -> None:
+        self.service = service
+        self.config = service.config
+        self.batch = PackedCandidateBatch()
+        self.queues: "OrderedDict[int, Deque[_PendingRequest]]" = OrderedDict()
+        self.overflow: Deque[_PendingRequest] = deque()
+        self.n_inflight = 0
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is admitted and nothing waits in overflow."""
+        return self.n_inflight == 0 and not self.overflow
+
+    def _fits(self, pending: _PendingRequest) -> bool:
+        # An empty batch always admits — even a request wider than the
+        # row budget — so admission control can never starve a request.
+        if self.n_inflight == 0:
+            return True
+        rows = self.batch.live_rows + len(pending.candidates)
+        return rows <= self.config.max_inflight_rows
+
+    def _admit(self, pending: _PendingRequest) -> None:
+        metrics = self.service.metrics
+        metrics.observe(
+            "admission_wait", time.monotonic() - pending.submitted
+        )
+        self.batch.admit(pending.request_id, pending.candidates)
+        self.queues.setdefault(pending.user, deque()).append(pending)
+        self.n_inflight += 1
+
+    def _admit_overflow(self) -> None:
+        while self.overflow and self._fits(self.overflow[0]):
+            self._admit(self.overflow.popleft())
+
+    def take(self, pending: _PendingRequest) -> None:
+        """Admit a submission, or park it in overflow if rows are full.
+
+        Earlier overflow entries keep priority: a new submission only
+        admits directly when nothing is already waiting.
+        """
+        self._admit_overflow()
+        if self.overflow or not self._fits(pending):
+            self.overflow.append(pending)
+        else:
+            self._admit(pending)
+
+    def step(self) -> int:
+        """One kernel boundary; returns the number of requests completed.
+
+        Picks the next user round-robin, scores at most
+        ``check_interval`` of its queued requests with one model call,
+        resolves them, retires their packed rows, and refills from
+        overflow — so admission and retirement happen between every
+        kernel, never only between full batches.
+        """
+        self._admit_overflow()
+        if not self.queues:
+            return 0
+        service = self.service
+        metrics = service.metrics
+        metrics.observe_gauge("batch_occupancy_rows", self.batch.live_rows)
+        metrics.observe_gauge("inflight_requests", self.n_inflight)
+        metrics.observe_gauge(
+            "queue_depth", service._queue.qsize() + len(self.overflow)
+        )
+        user = next(iter(self.queues))
+        user_queue = self.queues[user]
+        chunk: List[_PendingRequest] = []
+        while user_queue and len(chunk) < self.config.check_interval:
+            chunk.append(user_queue.popleft())
+        if user_queue:
+            self.queues.move_to_end(user)
+        else:
+            del self.queues[user]
+        metrics.inc("batches")
+        metrics.inc("batched_requests", len(chunk))
+        try:
+            service._score_user_chunk(
+                user, chunk, lambda p: self.batch.candidate_list_of(p.request_id)
+            )
+        except Exception as exc:  # noqa: BLE001 - reported per request
+            metrics.inc("errors", len(chunk))
+            logger.warning(
+                "scoring failed for user %d (%d request(s)): %s",
+                user, len(chunk), exc,
+            )
+            for pending in chunk:
+                pending.fail(exc)
+        finally:
+            for pending in chunk:
+                self.batch.retire(pending.request_id)
+            self.n_inflight -= len(chunk)
+        return len(chunk)
 
 
 def service_for_split(

@@ -40,7 +40,15 @@ ROUNDS = 12
 
 @pytest.mark.chaos
 class TestShardKillUnderLoad:
-    def test_kill_one_worker_mid_stream(self, tmp_path) -> None:
+    @pytest.mark.parametrize("batching", ["inflight", "microbatch"])
+    def test_kill_one_worker_mid_stream(self, tmp_path, batching) -> None:
+        """SIGKILL lands mid-in-flight-batch (or mid-micro-batch).
+
+        Requests admitted to the packed batch die with the worker; the
+        supervisor must still restart the shard by WAL replay with
+        bit-identical fingerprints, and the router must hide the whole
+        episode from clients.
+        """
         split = temporal_split(
             generate_gowalla(
                 random_state=31, user_factor=0.5, length_factor=0.6
@@ -48,7 +56,9 @@ class TestShardKillUnderLoad:
         )
         users = list(range(split.n_users))
         model = RecencyRecommender().fit(split, SMALL_WINDOW)
-        config = ServiceConfig(window=SMALL_WINDOW, n_items=split.n_items)
+        config = ServiceConfig(
+            window=SMALL_WINDOW, n_items=split.n_items, batching=batching
+        )
         supervisor = ShardSupervisor(
             split,
             model,

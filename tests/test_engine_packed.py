@@ -1,0 +1,129 @@
+"""PackedCandidateBatch invariants: layout, compaction, and typing.
+
+The packed buffer backs the in-flight serving loop, so its contracts
+are load-bearing for bit-identity: row ranges must always reproduce the
+exact candidate ints admitted, in admission order, across any
+admit/retire interleaving, growth, and compaction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine.packed import PackedCandidateBatch, _INITIAL_CAPACITY
+from repro.exceptions import EngineError
+
+
+class TestBasics:
+    def test_admit_and_read_back(self) -> None:
+        batch = PackedCandidateBatch()
+        assert len(batch) == 0
+        assert batch.live_rows == 0
+        assert batch.admit("a", (3, 1, 4)) == 3
+        assert batch.admit("b", (1, 5)) == 2
+        assert len(batch) == 2
+        assert "a" in batch and "b" in batch and "c" not in batch
+        assert batch.live_rows == 5
+        assert batch.candidate_list_of("a") == [3, 1, 4]
+        assert batch.candidate_list_of("b") == [1, 5]
+        np.testing.assert_array_equal(
+            batch.packed_candidates(), [3, 1, 4, 1, 5]
+        )
+        np.testing.assert_array_equal(batch.cu_seqlens(), [0, 3, 5])
+
+    def test_candidate_list_yields_plain_ints(self) -> None:
+        """Query candidates must be Python ints, not np.int64 scalars."""
+        batch = PackedCandidateBatch()
+        batch.admit("a", np.array([7, 9], dtype=np.int64))
+        values = batch.candidate_list_of("a")
+        assert all(type(v) is int for v in values)
+        assert values == [7, 9]
+
+    def test_duplicate_admit_raises(self) -> None:
+        batch = PackedCandidateBatch()
+        batch.admit("a", (1,))
+        with pytest.raises(EngineError, match="already"):
+            batch.admit("a", (2,))
+
+    def test_retire_unknown_raises(self) -> None:
+        batch = PackedCandidateBatch()
+        with pytest.raises(EngineError, match="not in the batch"):
+            batch.retire("ghost")
+        with pytest.raises(EngineError, match="not in the batch"):
+            batch.candidates_of("ghost")
+
+    def test_retire_frees_rows(self) -> None:
+        batch = PackedCandidateBatch()
+        batch.admit("a", (1, 2, 3))
+        batch.admit("b", (4,))
+        assert batch.retire("a") == 3
+        assert "a" not in batch
+        assert len(batch) == 1
+        assert batch.live_rows == 1
+        assert batch.candidate_list_of("b") == [4]
+        np.testing.assert_array_equal(batch.packed_candidates(), [4])
+
+    def test_empty_candidate_request(self) -> None:
+        batch = PackedCandidateBatch()
+        assert batch.admit("a", ()) == 0
+        assert "a" in batch
+        assert batch.candidate_list_of("a") == []
+        np.testing.assert_array_equal(batch.cu_seqlens(), [0, 0])
+        assert batch.retire("a") == 0
+
+
+class TestStorageManagement:
+    def test_growth_past_initial_capacity(self) -> None:
+        batch = PackedCandidateBatch()
+        wide = list(range(_INITIAL_CAPACITY + 17))
+        batch.admit("wide", wide)
+        batch.admit("tail", (1, 2))
+        assert batch.candidate_list_of("wide") == wide
+        assert batch.candidate_list_of("tail") == [1, 2]
+
+    def test_compaction_preserves_admission_order(self) -> None:
+        batch = PackedCandidateBatch()
+        for key in range(8):
+            batch.admit(key, (key * 10, key * 10 + 1))
+        for key in (0, 2, 4, 6):
+            batch.retire(key)
+        # Dead rows can never outnumber live rows after a retire.
+        assert batch.dead_rows <= batch.live_rows
+        expected = [v for key in (1, 3, 5, 7) for v in (key * 10, key * 10 + 1)]
+        np.testing.assert_array_equal(batch.packed_candidates(), expected)
+        np.testing.assert_array_equal(batch.cu_seqlens(), [0, 2, 4, 6, 8])
+        for key in (1, 3, 5, 7):
+            assert batch.candidate_list_of(key) == [key * 10, key * 10 + 1]
+
+    def test_randomized_against_dict_reference(self) -> None:
+        """Fuzz admit/retire against a plain dict-of-tuples model."""
+        rng = random.Random(20260808)
+        batch = PackedCandidateBatch()
+        reference: dict = {}
+        next_key = 0
+        for _ in range(2000):
+            if reference and rng.random() < 0.45:
+                key = rng.choice(list(reference))
+                assert batch.retire(key) == len(reference.pop(key))
+            else:
+                key = next_key
+                next_key += 1
+                rows = tuple(
+                    rng.randrange(10_000) for _ in range(rng.randrange(0, 30))
+                )
+                reference[key] = rows
+                batch.admit(key, rows)
+            assert len(batch) == len(reference)
+            assert batch.live_rows == sum(len(v) for v in reference.values())
+            assert batch.dead_rows <= max(batch.live_rows, 0)
+        flat = [v for rows in reference.values() for v in rows]
+        np.testing.assert_array_equal(batch.packed_candidates(), flat)
+        lengths = [len(rows) for rows in reference.values()]
+        np.testing.assert_array_equal(
+            batch.cu_seqlens(), np.concatenate([[0], np.cumsum(lengths)])
+        )
+        for key, rows in reference.items():
+            assert batch.candidate_list_of(key) == list(rows)

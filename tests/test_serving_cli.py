@@ -35,6 +35,10 @@ class TestParser:
         assert args.port == 8423
         assert args.capacity == 1024
         assert args.max_batch == 64
+        assert args.batching == "inflight"
+        assert args.check_interval == 16
+        assert args.max_inflight_rows == 32768
+        assert args.admission_wait_ms == 0.0
         assert args.event_log is None
         assert args.deadline_ms is None
 
@@ -49,6 +53,10 @@ class TestParser:
                 "--event-log", str(tmp_path / "e.log"),
                 "--max-batch", "8",
                 "--max-wait-ms", "0.5",
+                "--batching", "microbatch",
+                "--check-interval", "4",
+                "--max-inflight-rows", "512",
+                "--admission-wait-ms", "1.5",
                 "--deadline-ms", "25",
                 "--capacity", "16",
                 "--max-epochs", "100",
@@ -59,6 +67,10 @@ class TestParser:
         assert args.model == "tsppr"
         assert args.dataset == "lastfm"
         assert args.max_batch == 8
+        assert args.batching == "microbatch"
+        assert args.check_interval == 4
+        assert args.max_inflight_rows == 512
+        assert args.admission_wait_ms == 1.5
         assert args.deadline_ms == 25.0
 
     def test_replay_requires_event_log(self, capsys) -> None:

@@ -19,6 +19,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.serving.metrics import (
+    GaugeStats,
     LatencyHistogram,
     ServingMetrics,
     merge_snapshots,
@@ -29,6 +30,9 @@ durations = st.floats(
     min_value=1e-6, max_value=90.0, allow_nan=False, allow_infinity=False
 )
 
+#: Depth-like integers the in-flight loop samples at kernel boundaries.
+depths = st.integers(min_value=0, max_value=100_000)
+
 #: One shard's worth of activity, rendered into a real snapshot.
 shard_activity = st.fixed_dictionaries(
     {
@@ -37,6 +41,8 @@ shard_activity = st.fixed_dictionaries(
         "batches": st.integers(min_value=0, max_value=10),
         "batched_requests": st.integers(min_value=0, max_value=40),
         "latencies": st.lists(durations, max_size=20),
+        "queue_depths": st.lists(depths, max_size=20),
+        "occupancies": st.lists(depths, max_size=20),
         "cache_hits": st.integers(min_value=0, max_value=30),
         "cache_misses": st.integers(min_value=0, max_value=30),
     }
@@ -50,6 +56,10 @@ def snapshot_from(activity: dict) -> dict:
         metrics.inc(name, activity[name])
     for seconds in activity["latencies"]:
         metrics.observe("request_latency", seconds)
+    for depth in activity["queue_depths"]:
+        metrics.observe_gauge("queue_depth", depth)
+    for rows in activity["occupancies"]:
+        metrics.observe_gauge("batch_occupancy_rows", rows)
     return metrics.as_dict(
         {
             "hits": activity["cache_hits"],
@@ -96,6 +106,38 @@ class TestHistogramMerge:
         assert clone.percentile(0.99) == histogram.percentile(0.99)
 
 
+class TestGaugeMerge:
+    @given(xs=st.lists(depths, max_size=30), ys=st.lists(depths, max_size=30))
+    @settings(deadline=None, max_examples=60)
+    def test_merge_equals_observing_everything(self, xs, ys) -> None:
+        """merge(G(xs), G(ys)) is bit-equal to G(xs + ys)."""
+        left = GaugeStats()
+        for x in xs:
+            left.observe(x)
+        right = GaugeStats()
+        for y in ys:
+            right.observe(y)
+        combined = GaugeStats()
+        for value in xs + ys:
+            combined.observe(value)
+        left.merge(right)
+        assert left.state_dict() == combined.state_dict()
+        assert left.summary() == combined.summary()
+
+    @given(xs=st.lists(depths, min_size=1, max_size=30))
+    @settings(deadline=None, max_examples=60)
+    def test_state_round_trip(self, xs) -> None:
+        gauge = GaugeStats()
+        for x in xs:
+            gauge.observe(x)
+        clone = GaugeStats.from_state(gauge.state_dict())
+        assert clone.state_dict() == gauge.state_dict()
+
+    def test_rejects_negative_samples(self) -> None:
+        with pytest.raises(ValueError, match="non-negative"):
+            GaugeStats().observe(-1)
+
+
 class TestSnapshotMerge:
     @given(
         activities=st.lists(shard_activity, min_size=1, max_size=5),
@@ -135,6 +177,14 @@ class TestSnapshotMerge:
         )
         assert merged["histogram_state"]["request_latency"]["n"] == sum(
             len(a["latencies"]) for a in activities
+        )
+        depth = merged["gauge_state"]["queue_depth"]
+        assert depth["n"] == sum(len(a["queue_depths"]) for a in activities)
+        assert depth["total"] == sum(
+            sum(a["queue_depths"]) for a in activities
+        )
+        assert depth["max"] == max(
+            (max(a["queue_depths"], default=0) for a in activities), default=0
         )
         cache = merged["session_cache"]
         hits = sum(a["cache_hits"] for a in activities)
