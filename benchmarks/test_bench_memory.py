@@ -1,0 +1,157 @@
+"""Bench: session-memory footprint and rehydration latency by store.
+
+Two guards over a serving-scale population with long histories:
+
+* **Resident bytes per active user** — the same training prefixes are
+  held by the dict/list reference store and by the columnar arena;
+  deterministic ``deep_sizeof`` accounting (allocator- and RSS-noise
+  free) must show the arena **>= 4x** smaller per active user. The
+  mmap-backed arena's heap residency is recorded alongside for scale —
+  its columns live in file pages, not on the heap.
+* **Rehydration latency** — an LRU ``SessionStore`` with capacity 1 is
+  churned so every ``get`` rebuilds an evicted session. Over the legacy
+  callable provider a rebuild re-fetches and re-copies the user's full
+  base history; over the arena it seeds from an O(window) suffix
+  gather. The guard requires the arena rehydration p99 at or below the
+  callable path's, with bit-identical fingerprints.
+
+Both are recorded to ``BENCH_memory.json`` via the session-scoped
+``bench_record`` fixture, next to the serving/cluster trajectories.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.config import WindowConfig
+from repro.data.split import temporal_split
+from repro.serving.state import SessionStore
+from repro.store import store_memory_profile
+from repro.synth.base import SyntheticConfig, generate_dataset
+
+pytestmark = pytest.mark.bench
+
+#: Long histories over a vocabulary well past the small-int cache: the
+#: regime where pointer-per-event representations pay full price.
+MEM_SYNTH = SyntheticConfig(
+    name="memory-bench",
+    n_users=96,
+    n_items=4000,
+    sequence_length_range=(400, 600),
+    catalog_size_range=(120, 200),
+    zipf_exponent=0.7,
+    p_explore_range=(0.2, 0.3),
+    memory_span=120,
+    frequency_exponent=0.05,
+    recency_exponent=0.05,
+    explore_weight_exponent=0.0,
+)
+
+WINDOW = WindowConfig()
+CHURN_USERS = 24
+CHURN_ROUNDS = 30
+
+
+@pytest.fixture(scope="module")
+def mem_split():
+    return temporal_split(generate_dataset(MEM_SYNTH, 77))
+
+
+def test_resident_bytes_per_user(bench_record, mem_split, tmp_path):
+    users = range(mem_split.n_users)
+    profiles = {}
+    for kind in ("dict", "arena", "arena-mmap"):
+        store = mem_split.history_store(
+            kind=kind,
+            base="train",
+            directory=(
+                str(tmp_path / "arena") if kind == "arena-mmap" else None
+            ),
+        )
+        profiles[kind] = store_memory_profile(store, users)
+    ratio = (
+        profiles["dict"]["bytes_per_user"]
+        / profiles["arena"]["bytes_per_user"]
+    )
+    bench_record(
+        "memory",
+        "resident_bytes",
+        dict_bytes_per_user=round(profiles["dict"]["bytes_per_user"], 1),
+        arena_bytes_per_user=round(profiles["arena"]["bytes_per_user"], 1),
+        arena_mmap_heap_bytes_per_user=round(
+            profiles["arena-mmap"]["bytes_per_user"], 1
+        ),
+        active_users=int(profiles["arena"]["active_users"]),
+        dict_over_arena=round(ratio, 2),
+    )
+    print(
+        f"\nresident bytes/user: dict {profiles['dict']['bytes_per_user']:.0f}"
+        f", arena {profiles['arena']['bytes_per_user']:.0f}"
+        f" ({ratio:.1f}x), arena-mmap heap "
+        f"{profiles['arena-mmap']['bytes_per_user']:.0f}"
+    )
+    assert ratio >= 4.0, (
+        f"arena is only {ratio:.2f}x smaller per user than the dict store"
+    )
+
+
+def _churn_latencies(session_store: SessionStore, users) -> List[float]:
+    latencies: List[float] = []
+    for _ in range(CHURN_ROUNDS):
+        for user in users:
+            start = time.perf_counter()
+            session_store.get(user)
+            latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def test_rehydration_latency(bench_record, loadgen, mem_split):
+    users = list(range(CHURN_USERS))
+    arena_provider = mem_split.history_store(kind="arena", base="train")
+
+    def callable_provider(user: int):
+        if 0 <= user < mem_split.n_users:
+            return mem_split.train_sequence(user)
+        return None
+
+    stores: Dict[str, SessionStore] = {
+        name: SessionStore(
+            WINDOW.window_size,
+            WINDOW.min_gap,
+            capacity=1,
+            history_provider=provider,
+        )
+        for name, provider in (
+            ("callable", callable_provider),
+            ("arena", arena_provider),
+        )
+    }
+    # The two representations must be indistinguishable before they are
+    # comparable: same digests for every churned user.
+    for user in users:
+        assert stores["arena"].state_fingerprint(user) == (
+            stores["callable"].state_fingerprint(user)
+        )
+    tails = {
+        name: loadgen.percentiles_ms(_churn_latencies(store, users))
+        for name, store in stores.items()
+    }
+    bench_record(
+        "memory",
+        "rehydration_latency",
+        callable_p50_ms=tails["callable"]["p50_ms"],
+        callable_p99_ms=tails["callable"]["p99_ms"],
+        arena_p50_ms=tails["arena"]["p50_ms"],
+        arena_p99_ms=tails["arena"]["p99_ms"],
+        churn_gets=CHURN_USERS * CHURN_ROUNDS,
+    )
+    print(
+        f"\nrehydration p99: callable {tails['callable']['p99_ms']:.3f}ms, "
+        f"arena {tails['arena']['p99_ms']:.3f}ms"
+    )
+    assert tails["arena"]["p99_ms"] <= tails["callable"]["p99_ms"], (
+        "arena rehydration is slower than the full-copy callable path"
+    )

@@ -123,6 +123,12 @@ class ShardSupervisor:
     start_timeout_s:
         How long to wait for a spawned worker to publish its endpoint
         and answer ``/healthz``.
+    store:
+        History backing of every shard's sessions (see
+        :func:`repro.serving.service.service_for_split`). With
+        ``"arena-mmap"`` the supervisor packs the training histories
+        once under ``run_dir/arena`` before spawning, and all shards map
+        that one read-only copy.
     """
 
     def __init__(
@@ -140,6 +146,7 @@ class ShardSupervisor:
         max_missed_heartbeats: int = 3,
         fsync_policy: str = "always",
         start_timeout_s: float = 60.0,
+        store: str = "arena",
     ) -> None:
         if n_shards < 1:
             raise ServingError(f"n_shards must be >= 1, got {n_shards}")
@@ -157,6 +164,15 @@ class ShardSupervisor:
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.max_missed_heartbeats = max_missed_heartbeats
         self.start_timeout_s = start_timeout_s
+        self.store = store
+        store_dir: Optional[Path] = None
+        if store == "arena-mmap":
+            # Pack once before any fork; every shard then opens the same
+            # saved columns read-only instead of re-packing per process.
+            store_dir = self.run_dir / "arena"
+            split.history_store(
+                kind="arena-mmap", base="train", directory=str(store_dir)
+            )
         names = [f"shard-{index}" for index in range(n_shards)]
         self.ring = HashRing(names, vnodes=vnodes)
         self._handles: Dict[str, WorkerHandle] = {
@@ -168,6 +184,8 @@ class ShardSupervisor:
                     host=host,
                     capacity=capacity,
                     fsync_policy=fsync_policy,
+                    store=store,
+                    store_dir=store_dir,
                 )
             )
             for name in names
@@ -415,7 +433,10 @@ class ShardSupervisor:
 
         Pure readonly inspection: replay the shard's committed WAL over
         the base histories — the single-node recovery rule — without
-        touching the artifact.
+        touching the artifact. Deliberately built on the legacy callable
+        provider regardless of ``self.store``: comparing these digests
+        against an arena-backed worker's proves the two history
+        representations are bit-identical, not just self-consistent.
         """
         spec = self._handle(name).spec
         if not spec.log_path.exists():

@@ -12,6 +12,7 @@ Item frequency over a dataset is the basis of the *item quality* feature
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -20,6 +21,9 @@ import numpy as np
 from repro.data.sequence import ConsumptionSequence
 from repro.data.vocab import Vocabulary
 from repro.exceptions import DataError
+
+#: One-time guard for the ``Dataset.sequences`` deprecation warning.
+_SEQUENCES_DEPRECATION_WARNED = False
 
 
 @dataclass(frozen=True)
@@ -111,7 +115,41 @@ class Dataset:
 
     @property
     def sequences(self) -> List[ConsumptionSequence]:
+        """Deprecated: a fresh mutable list of every sequence.
+
+        Handing out an ad-hoc Python list invites exactly the divergent
+        history representations the :class:`~repro.store.base.HistoryStore`
+        API replaces. Iterate the dataset, call :meth:`sequence`, or take
+        a :meth:`history_store` view instead. Kept (warning once) for one
+        release, mirroring the ``score`` → ``score_batch`` transition.
+        """
+        global _SEQUENCES_DEPRECATION_WARNED
+        if not _SEQUENCES_DEPRECATION_WARNED:
+            _SEQUENCES_DEPRECATION_WARNED = True
+            warnings.warn(
+                "Dataset.sequences (an ad-hoc mutable list of histories) is "
+                "deprecated; iterate the dataset, use Dataset.sequence(user), "
+                "or build a Dataset.history_store() view.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return list(self._sequences)
+
+    def history_store(self, kind: str = "arena", directory: Optional[str] = None):
+        """This dataset's histories behind the ``HistoryStore`` protocol.
+
+        ``kind`` is one of ``repro.store.STORE_KINDS``; the default packs
+        every sequence into a columnar
+        :class:`~repro.store.arena.ArenaHistoryStore` whose per-user
+        reads are zero-copy views.
+        """
+        from repro.store import make_history_store
+
+        return make_history_store(
+            (sequence.items for sequence in self._sequences),
+            kind=kind,
+            directory=directory,
+        )
 
     def sequence(self, user: int) -> ConsumptionSequence:
         """The consumption sequence of dense user index ``user``."""

@@ -93,6 +93,37 @@ class SplitDataset:
             name=name or f"{self.dataset.name}-train",
         )
 
+    def history_store(
+        self,
+        kind: str = "arena",
+        base: str = "train",
+        directory: Optional[str] = None,
+    ):
+        """The split's histories behind the ``HistoryStore`` protocol.
+
+        ``base="train"`` packs each user's training prefix — the serving
+        topology, where the test suffix arrives later as live events.
+        ``base="full"`` packs the complete sequences — the offline
+        evaluation topology, where the walk reads the whole history.
+        """
+        from repro.store import make_history_store
+
+        if base == "train":
+            histories = (
+                self.dataset.sequence(user).items[: self.boundaries[user]]
+                for user in range(self.dataset.n_users)
+            )
+        elif base == "full":
+            histories = (
+                self.dataset.sequence(user).items
+                for user in range(self.dataset.n_users)
+            )
+        else:
+            raise SplitError(
+                f"base must be 'train' or 'full', got {base!r}"
+            )
+        return make_history_store(histories, kind=kind, directory=directory)
+
     def n_train_consumptions(self) -> int:
         return sum(self.boundaries)
 

@@ -26,7 +26,11 @@ shard users across a process pool (``workers=N``).
 """
 
 from repro.engine.query import Query, iter_queries_in_order
-from repro.engine.session import ScoringSession, fingerprint_state
+from repro.engine.session import (
+    ScoringSession,
+    fingerprint_history,
+    fingerprint_state,
+)
 from repro.engine.features import SessionFeatureMatrix
 from repro.engine.packed import PackedCandidateBatch
 
@@ -35,6 +39,7 @@ __all__ = [
     "Query",
     "ScoringSession",
     "SessionFeatureMatrix",
+    "fingerprint_history",
     "fingerprint_state",
     "iter_queries_in_order",
 ]

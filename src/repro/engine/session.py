@@ -66,6 +66,46 @@ def fingerprint_state(
     return digest.hexdigest()
 
 
+def fingerprint_history(
+    user: int,
+    items: np.ndarray,
+    window_size: int,
+    min_gap: int,
+) -> str:
+    """:func:`fingerprint_state` of the state *after* a full history.
+
+    Derives the three state mappings directly from the item array —
+    window counts over the last ``window_size`` entries, Ω counts over
+    the last ``min_gap``, and the global last position of every distinct
+    item (one reversed ``np.unique`` pass) — and digests them. Equals
+    ``ScoringSession(sequence, window_size, min_gap,
+    start=len(sequence)).state_fingerprint()`` by construction; the
+    history stores use it as their canonical per-user digest so every
+    store/session representation fingerprints identically.
+    """
+    array = np.asarray(items, dtype=np.int64)
+    t = int(array.size)
+    window_counts: Dict[int, int] = {}
+    for item in array[max(0, t - window_size):].tolist():
+        window_counts[item] = window_counts.get(item, 0) + 1
+    recent_counts: Dict[int, int] = {}
+    if min_gap > 0:
+        for item in array[max(0, t - min_gap):].tolist():
+            recent_counts[item] = recent_counts.get(item, 0) + 1
+    last_pos: Dict[int, int] = {}
+    if t:
+        distinct, reversed_index = np.unique(array[::-1], return_index=True)
+        last_pos = {
+            item: t - 1 - index
+            for item, index in zip(
+                distinct.tolist(), reversed_index.tolist()
+            )
+        }
+    return fingerprint_state(
+        user, t, window_size, min_gap, window_counts, recent_counts, last_pos
+    )
+
+
 class ScoringSession:
     """Forward-only window/Ω/recency state for one user's sequence.
 
@@ -142,6 +182,29 @@ class ScoringSession:
         for position, item in enumerate(self._items_list[:start]):
             last_pos[item] = position
         self._last_pos = last_pos
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        user: int,
+        window_size: int,
+        min_gap: int = 0,
+        start: int = 0,
+    ) -> "ScoringSession":
+        """A session over a user's history as held by a ``HistoryStore``.
+
+        The walkable-history counterpart of
+        :meth:`repro.store.base.HistoryStore.session` (which gives the
+        *live*, appendable session): offline consumers — the evaluation
+        protocol, feature builders — walk a fixed snapshot forward, so
+        they take the store's (zero-copy) view and drive it exactly like
+        any other sequence.
+        """
+        view = store.slice(user)
+        if view is None:
+            view = ConsumptionSequence(user, [])
+        return cls(view, window_size, min_gap=min_gap, start=start)
 
     # ------------------------------------------------------------------
     # Walking

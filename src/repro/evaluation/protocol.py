@@ -159,12 +159,29 @@ def evaluate_user(
 _PARALLEL_STATE: Optional[tuple] = None
 
 
+def _sequence_of(split: SplitDataset, history_store, user: int):
+    """One user's full walkable history: store view or split sequence.
+
+    A store's arena columns are fork-inherited (and, mmap-backed, shared
+    by the OS page cache), so the parallel path reads them zero-copy in
+    every worker just as the sequential path does.
+    """
+    if history_store is None:
+        return split.full_sequence(user)
+    view = history_store.slice(user)
+    if view is None:
+        return ConsumptionSequence(user, [])
+    return view
+
+
 def _worker_counts(user: int) -> UserCounts:
     assert _PARALLEL_STATE is not None
-    model, split, top_ns, window_size, min_gap = _PARALLEL_STATE
+    model, split, history_store, top_ns, window_size, min_gap = (
+        _PARALLEL_STATE
+    )
     return _evaluate_sequence(
         model,
-        split.full_sequence(user),
+        _sequence_of(split, history_store, user),
         split.train_boundary(user),
         user,
         top_ns,
@@ -176,6 +193,7 @@ def _worker_counts(user: int) -> UserCounts:
 def _evaluate_parallel(
     model: Recommender,
     split: SplitDataset,
+    history_store,
     top_ns: Tuple[int, ...],
     window_size: int,
     min_gap: int,
@@ -184,7 +202,9 @@ def _evaluate_parallel(
     global _PARALLEL_STATE
     context = multiprocessing.get_context("fork")
     chunksize = max(1, split.n_users // (n_workers * 4))
-    _PARALLEL_STATE = (model, split, top_ns, window_size, min_gap)
+    _PARALLEL_STATE = (
+        model, split, history_store, top_ns, window_size, min_gap
+    )
     try:
         with context.Pool(n_workers) as pool:
             # map() preserves user order, so aggregation sees the same
@@ -203,6 +223,7 @@ def evaluate_recommender(
     config: Optional[EvaluationConfig] = None,
     target_filter: Optional[TargetFilter] = None,
     workers: int = 1,
+    history_store=None,
 ) -> AccuracyResult:
     """MaAP/MiAP of a fitted recommender over all users' test suffixes.
 
@@ -225,6 +246,13 @@ def evaluate_recommender(
         sharding would reorder the stream), when a ``target_filter`` is
         given (closures may not survive the fork boundary portably), or
         when the platform lacks ``fork``.
+    history_store:
+        Optional :class:`~repro.store.base.HistoryStore` holding every
+        user's *full* history (``split.history_store(base="full")``).
+        When given, the walk reads each user's sequence as a zero-copy
+        store view instead of the split's per-user objects — MaAP/MiAP
+        are bit-identical either way (the equivalence suite asserts it),
+        resident memory is not.
     """
     config = config or EvaluationConfig()
     if workers < 1:
@@ -242,13 +270,14 @@ def evaluate_recommender(
     )
     if use_parallel:
         per_user = _evaluate_parallel(
-            model, split, top_ns, window_size, min_gap, n_workers
+            model, split, history_store, top_ns, window_size, min_gap,
+            n_workers,
         )
     else:
         per_user = [
             _evaluate_sequence(
                 model,
-                split.full_sequence(user),
+                _sequence_of(split, history_store, user),
                 split.train_boundary(user),
                 user,
                 top_ns,

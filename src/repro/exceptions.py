@@ -32,6 +32,10 @@ class EngineError(ReproError):
     """The batch-scoring engine was driven through an invalid transition."""
 
 
+class StoreError(ReproError):
+    """A history store was misused or its arena layout is inconsistent."""
+
+
 class SamplingError(ReproError):
     """Training-quadruple sampling cannot proceed (e.g. no candidates)."""
 

@@ -44,6 +44,7 @@ from repro.serving.events import EventLog
 from repro.serving.server import RecommendServer
 from repro.serving.service import ServiceConfig, service_for_split
 from repro.serving.state import SessionStore
+from repro.store import STORE_KINDS
 from repro.synth.gowalla import generate_gowalla
 from repro.synth.lastfm import generate_lastfm
 
@@ -85,6 +86,28 @@ def build_model(
     }[name](config)
     logger.info("fitting %s (max_epochs=%d, seed=%d)", name, max_epochs, seed)
     return model.fit(split)
+
+
+def add_store_arguments(
+    parser: argparse.ArgumentParser, include_dir: bool = True
+) -> None:
+    """History-backing options shared by serve, cluster, and replay."""
+    parser.add_argument(
+        "--store",
+        default="arena",
+        choices=STORE_KINDS,
+        help="session history backing: columnar arena (default), "
+        "memory-mapped arena (arena-mmap), or per-user Python lists "
+        "(dict); answers and fingerprints are bit-identical either way",
+    )
+    if include_dir:
+        parser.add_argument(
+            "--store-dir",
+            type=Path,
+            default=None,
+            help="arena-mmap only: directory for the packed columns "
+            "(default: a fresh temporary directory)",
+        )
 
 
 def add_batching_arguments(parser: argparse.ArgumentParser) -> None:
@@ -150,6 +173,7 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         default=1024,
         help="max resident live sessions before LRU eviction",
     )
+    add_store_arguments(parser)
     parser.add_argument(
         "--max-batch",
         type=int,
@@ -224,6 +248,9 @@ def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         default=1024,
         help="per-shard max resident live sessions before LRU eviction",
     )
+    # The supervisor owns the packed-column location (run_dir/arena), so
+    # the cluster form has no --store-dir.
+    add_store_arguments(parser, include_dir=False)
     parser.add_argument(
         "--vnodes",
         type=int,
@@ -277,6 +304,7 @@ def add_replay_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=7, help="dataset seed (must match serve)"
     )
+    add_store_arguments(parser)
     parser.add_argument(
         "--user",
         type=int,
@@ -330,7 +358,15 @@ def run_serve(args: argparse.Namespace) -> int:
         n_items=split.n_items,
     )
     service = service_for_split(
-        model, split, event_log=event_log, config=config, capacity=args.capacity
+        model,
+        split,
+        event_log=event_log,
+        config=config,
+        capacity=args.capacity,
+        store=args.store,
+        store_dir=(
+            str(args.store_dir) if args.store_dir is not None else None
+        ),
     )
     if event_log is not None and len(event_log):
         logger.info(
@@ -378,6 +414,7 @@ def run_cluster(args: argparse.Namespace) -> int:
         vnodes=args.vnodes,
         heartbeat_interval_s=args.heartbeat_interval,
         fsync_policy=args.fsync_policy,
+        store=args.store,
     )
     supervisor.start()
     router = ClusterRouter(supervisor, host=args.host, port=args.port)
@@ -399,18 +436,19 @@ def run_replay(args: argparse.Namespace) -> int:
         return 1
     log = EventLog.open(args.event_log, readonly=True)
     split = build_split(args.dataset, args.seed)
-
-    def history(user: int):
-        if 0 <= user < split.n_users:
-            return split.train_sequence(user)
-        return None
-
+    provider = split.history_store(
+        kind=args.store,
+        base="train",
+        directory=(
+            str(args.store_dir) if args.store_dir is not None else None
+        ),
+    )
     window = WindowConfig()
     store = SessionStore(
         window.window_size,
         window.min_gap,
         capacity=max(len(log.users()), 1),
-        history_provider=history,
+        history_provider=provider,
         event_source=log.events_for,
     )
     users = [args.user] if args.user is not None else log.users()

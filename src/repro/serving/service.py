@@ -969,6 +969,8 @@ def service_for_split(
     event_log: Optional[EventLog] = None,
     config: Optional[ServiceConfig] = None,
     capacity: int = 1024,
+    store: str = "arena",
+    store_dir: Optional[str] = None,
 ) -> RecommendService:
     """Wire a service whose base histories are a split's training prefixes.
 
@@ -976,21 +978,40 @@ def service_for_split(
     ``split.train_sequence(user)`` and the held-out test suffix arrives
     as live events, so replaying it through :meth:`RecommendService.step`
     reproduces the offline evaluation protocol position for position.
+
+    ``store`` selects the history backing: one of
+    ``repro.store.STORE_KINDS`` (``"arena"`` — the default columnar
+    session-memory arena, ``"arena-mmap"`` — the same columns persisted
+    under ``store_dir`` and memory-mapped, ``"dict"`` — the Python
+    dict/list reference), or ``"callable"`` for the legacy per-user
+    fetch through ``split.train_sequence``. Every kind answers
+    bit-identically; they differ in resident memory and rehydration
+    cost (``BENCH_memory.json``).
     """
     config = config or ServiceConfig(n_items=split.n_items)
 
-    def history(user: int):
-        if 0 <= user < split.n_users:
-            return split.train_sequence(user)
-        return None
+    if store == "callable":
 
-    store = SessionStore(
+        def history(user: int):
+            if 0 <= user < split.n_users:
+                return split.train_sequence(user)
+            return None
+
+        provider = history
+    else:
+        provider = split.history_store(
+            kind=store, base="train", directory=store_dir
+        )
+
+    session_store = SessionStore(
         config.window.window_size,
         config.window.min_gap,
         capacity=capacity,
-        history_provider=history,
+        history_provider=provider,
         event_source=(
             event_log.events_for if event_log is not None else None
         ),
     )
-    return RecommendService(model, store, event_log=event_log, config=config)
+    return RecommendService(
+        model, session_store, event_log=event_log, config=config
+    )

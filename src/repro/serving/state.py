@@ -12,27 +12,37 @@ digest) to a fresh offline session built over the concatenated history.
 
 :class:`SessionStore` keeps many live sessions resident under an LRU
 capacity bound. An evicted user is *transparently rehydrated* on next
-access: the base history is re-fetched from the dataset-side provider
-and the user's logged live events are replayed on top, reconstructing
-the evicted state exactly — eviction is invisible to correctness, it
-only costs latency.
+access. With a legacy callable ``history_provider`` that means
+re-fetching the base history and replaying the user's logged live
+events on top; with a :class:`~repro.store.base.HistoryStore` provider
+the history (base *and* live tail) survives eviction inside the store,
+so rehydration is an O(window) re-seed over a zero-copy view — no
+re-fetch, no copy, no replay. Either way eviction is invisible to
+correctness, it only costs (much less, now) latency.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.data.sequence import ConsumptionSequence
 from repro.engine.session import fingerprint_state
 from repro.exceptions import DataError, ServingError
+from repro.store.base import HistoryStore
+from repro.store.session import StoreSession
 
 #: Fetches one user's base (pre-serving) history, or ``None`` for a user
 #: unknown to the dataset (served cold, from live events only).
 HistoryProvider = Callable[[int], Optional[ConsumptionSequence]]
+
+#: What ``SessionStore.get`` hands out: the two session flavours share
+#: one accessor contract (asserted digest-for-digest by the equivalence
+#: suite), so every consumer treats them interchangeably.
+SessionLike = Union["LiveSession", StoreSession]
 
 
 class LiveSession:
@@ -272,7 +282,11 @@ class SessionStore:
         Maximum resident sessions; accessing a new user past capacity
         evicts the least-recently-used one.
     history_provider:
-        Fetches a user's base history on first access / rehydration.
+        Either a :class:`~repro.store.base.HistoryStore` (sessions are
+        :class:`~repro.store.session.StoreSession` objects over it —
+        zero-copy rehydration, histories survive eviction in the store)
+        or a legacy callable fetching a user's base history on first
+        access / rehydration.
     event_source:
         Optional callable ``user -> iterable of item ids`` returning the
         user's *logged live events* in append order (the event log's
@@ -289,7 +303,9 @@ class SessionStore:
         window_size: int,
         min_gap: int,
         capacity: int = 1024,
-        history_provider: Optional[HistoryProvider] = None,
+        history_provider: Optional[
+            Union[HistoryProvider, HistoryStore]
+        ] = None,
         event_source: Optional[Callable[[int], List[int]]] = None,
     ) -> None:
         if capacity < 1:
@@ -300,7 +316,7 @@ class SessionStore:
         self.history_provider = history_provider
         self.event_source = event_source
         self.counters = StoreCounters()
-        self._sessions: "OrderedDict[int, LiveSession]" = OrderedDict()
+        self._sessions: "OrderedDict[int, SessionLike]" = OrderedDict()
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
@@ -316,7 +332,7 @@ class SessionStore:
         with self._lock:
             return list(self._sessions)
 
-    def get(self, user: int) -> LiveSession:
+    def get(self, user: int) -> SessionLike:
         """The user's live session, rehydrating (and evicting) as needed."""
         with self._lock:
             session = self._sessions.get(user)
@@ -356,13 +372,33 @@ class SessionStore:
         with self._lock:
             return self.get(user).state_fingerprint()
 
-    def _build(self, user: int) -> LiveSession:
-        """Rebuild a session: base history + replay of logged events."""
-        history = (
-            self.history_provider(user)
-            if self.history_provider is not None
-            else None
-        )
+    def _build(self, user: int) -> SessionLike:
+        """Rebuild a session: base history + replay of logged events.
+
+        Over a :class:`HistoryStore` the "rebuild" is an O(window)
+        re-seed — the store retained both base and live tail across
+        eviction — and only WAL events the store has *not* seen yet
+        (``events[live_count:]``, i.e. a crash-restart gap) are
+        replayed. Over a legacy callable provider, the base history is
+        re-fetched and every logged live event replayed, as before.
+        """
+        provider = self.history_provider
+        if isinstance(provider, HistoryStore):
+            session = provider.session(
+                user, self.window_size, self.min_gap
+            )
+            replayed = 0
+            if self.event_source is not None:
+                already_held = provider.live_count(user)
+                for item in self.event_source(user)[already_held:]:
+                    session.append(item)
+                    replayed += 1
+            if replayed or provider.live_count(user):
+                # The user had live state to restore — whether it came
+                # back from the store's tail (free) or the WAL (replay).
+                self.counters.rehydrations += 1
+            return session
+        history = provider(user) if provider is not None else None
         session = LiveSession(
             user, self.window_size, self.min_gap, history=history
         )

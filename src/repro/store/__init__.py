@@ -1,0 +1,68 @@
+"""Columnar session memory behind the unified :class:`HistoryStore` API.
+
+See :mod:`repro.store.base` for the protocol, :mod:`repro.store.arena`
+for the columnar arena implementation, and :mod:`repro.store.session`
+for the store-native live session the serving layer runs on.
+"""
+
+import tempfile
+from typing import Iterable, Optional, Sequence
+
+from repro.exceptions import StoreError
+from repro.store.arena import (
+    ArenaHistoryStore,
+    ArenaHistoryView,
+    SessionArena,
+)
+from repro.store.base import HistoryStore, HistoryView
+from repro.store.dict_store import DictHistoryStore
+from repro.store.memory import deep_sizeof, store_memory_profile
+from repro.store.session import StoreSession
+
+#: CLI-facing store kinds accepted by ``--store`` and the factories.
+STORE_KINDS = ("dict", "arena", "arena-mmap")
+
+
+def make_history_store(
+    histories: Iterable[Sequence[int]],
+    kind: str = "arena",
+    directory: Optional[str] = None,
+) -> HistoryStore:
+    """Build a history store of the requested ``kind``.
+
+    ``histories`` are dense-user-indexed item sequences (index = user
+    id). ``"arena-mmap"`` persists the packed columns under
+    ``directory`` (a fresh temporary directory when omitted) and reopens
+    them memory-mapped, so base histories cost file pages, not heap. A
+    directory that already holds a saved arena is reused as-is without
+    consuming ``histories`` — which is how N cluster shards on one box
+    map one shared read-only copy of the columns.
+    """
+    if kind == "dict":
+        return DictHistoryStore.from_histories(histories)
+    if kind == "arena":
+        return ArenaHistoryStore.from_histories(histories)
+    if kind == "arena-mmap":
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-arena-")
+        if not SessionArena.exists(directory):
+            SessionArena.from_histories(histories).save(directory)
+        return ArenaHistoryStore(SessionArena.open(directory, mmap=True))
+    raise StoreError(
+        f"unknown store kind {kind!r}; expected one of {STORE_KINDS}"
+    )
+
+
+__all__ = [
+    "ArenaHistoryStore",
+    "ArenaHistoryView",
+    "DictHistoryStore",
+    "HistoryStore",
+    "HistoryView",
+    "SessionArena",
+    "StoreSession",
+    "STORE_KINDS",
+    "deep_sizeof",
+    "make_history_store",
+    "store_memory_profile",
+]

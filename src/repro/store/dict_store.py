@@ -1,0 +1,132 @@
+"""The dict/list reference implementation of :class:`HistoryStore`.
+
+This is today's representation — one Python list of boxed ints per user
+— wrapped in the store protocol. It exists for two reasons: as the
+semantic reference the arena store is proven element- and
+fingerprint-identical against (the hypothesis equivalence suite drives
+both through the same schedules), and as the ``--store dict`` escape
+hatch while the arena is new. It is deliberately simple and deliberately
+memory-hungry; ``BENCH_memory.json`` quantifies the gap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import StoreError
+from repro.store.base import HistoryStore
+
+
+class DictHistoryStore(HistoryStore):
+    """Per-user Python lists behind the :class:`HistoryStore` protocol."""
+
+    def __init__(
+        self, histories: Optional[Dict[int, Sequence[int]]] = None
+    ) -> None:
+        self._base: Dict[int, List[int]] = {}
+        if histories:
+            for user, items in histories.items():
+                user = int(user)
+                if user < 0:
+                    raise StoreError(
+                        f"user must be non-negative, got {user}"
+                    )
+                as_list = [int(item) for item in items]
+                if any(item < 0 for item in as_list):
+                    raise StoreError("item indices must be non-negative")
+                self._base[user] = as_list
+        self._tails: Dict[int, List[int]] = {}
+        self._lock = threading.RLock()
+
+    @classmethod
+    def from_histories(
+        cls, histories: Iterable[Sequence[int]]
+    ) -> "DictHistoryStore":
+        """Build from dense-user-indexed histories (index = user id)."""
+        return cls(
+            {user: items for user, items in enumerate(histories)}
+        )
+
+    # ------------------------------------------------------------------
+    # HistoryStore protocol
+    # ------------------------------------------------------------------
+    def slice(self, user: int) -> Optional[ConsumptionSequence]:
+        user = int(user)
+        with self._lock:
+            base = self._base.get(user)
+            tail = self._tails.get(user)
+            if not base and not tail:
+                return None
+            items = (base or []) + (tail or [])
+            return ConsumptionSequence(user, items)
+
+    def append(self, user: int, item: int, t: Optional[int] = None) -> int:
+        user, item = int(user), int(item)
+        if user < 0:
+            raise StoreError(f"user must be non-negative, got {user}")
+        if item < 0:
+            raise StoreError(
+                f"item indices must be non-negative, got {item}"
+            )
+        with self._lock:
+            tail = self._tails.setdefault(user, [])
+            position = len(self._base.get(user, ())) + len(tail)
+            tail.append(item)
+            return position
+
+    def base_length(self, user: int) -> int:
+        return len(self._base.get(int(user), ()))
+
+    def live_count(self, user: int) -> int:
+        return len(self._tails.get(int(user), ()))
+
+    def item_at(self, user: int, position: int) -> int:
+        user = int(user)
+        if position < 0:
+            raise StoreError(
+                f"position must be non-negative, got {position}"
+            )
+        with self._lock:
+            base = self._base.get(user, [])
+            tail = self._tails.get(user, [])
+            if position < len(base):
+                return base[position]
+            if position < len(base) + len(tail):
+                return tail[position - len(base)]
+            raise StoreError(
+                f"position {position} outside user {user}'s history of "
+                f"length {len(base) + len(tail)}"
+            )
+
+    def recent_items(self, user: int, n: int) -> np.ndarray:
+        user = int(user)
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        with self._lock:
+            base = self._base.get(user, [])
+            tail = self._tails.get(user, [])
+            combined = (
+                tail[-n:]
+                if len(tail) >= n
+                else base[max(0, len(base) - (n - len(tail))):] + tail
+            )
+        return np.asarray(combined, dtype=np.int64)
+
+    def users(self) -> Iterable[int]:
+        """Users with any history, sorted."""
+        with self._lock:
+            known = {user for user, items in self._base.items() if items}
+            known.update(
+                user for user, tail in self._tails.items() if tail
+            )
+        return sorted(known)
+
+    def __repr__(self) -> str:
+        return (
+            f"DictHistoryStore(users={len(self._base)}, "
+            f"tail_users={len(self._tails)})"
+        )

@@ -1,0 +1,266 @@
+"""Live window/Ω/recency session state backed by a :class:`HistoryStore`.
+
+A :class:`StoreSession` is the store-native replacement for the serving
+layer's list-carrying :class:`~repro.serving.state.LiveSession`: same
+accessor surface, same O(1) per-event updates, same
+:func:`~repro.engine.session.fingerprint_state` digests — but the
+history itself stays in the store. The session holds only the
+*fixed-size* observable state:
+
+* a ring buffer of the last ``max(window_size, min_gap)`` items (what
+  window and Ω eviction need to know);
+* the window and Ω count dicts, bounded by ``window_size`` / ``min_gap``
+  distinct entries;
+* last-position entries for items touched since the session started
+  (ring seed + live appends) — which provably covers every candidate,
+  since a window item's global last occurrence lies inside the window.
+
+Construction therefore costs O(``window_size``) regardless of history
+length (one :meth:`~repro.store.base.HistoryStore.recent_items` gather),
+and an LRU-evicted session rehydrates as a view, not a copy: the store
+kept the history, so nothing is re-fetched and nothing is replayed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.sequence import ConsumptionSequence
+from repro.exceptions import DataError
+from repro.store.base import HistoryStore
+
+
+class StoreSession:
+    """One user's live window state over a shared :class:`HistoryStore`.
+
+    Accessor contracts are identical to ``LiveSession`` /
+    ``ScoringSession``; the equivalence suite asserts digest equality
+    under random interleaved schedules. Appends write through to the
+    store (the store is the single source of truth for history), so two
+    sessions must never be live for the same user at once — the serving
+    ``SessionStore``'s per-user residency already guarantees that.
+    """
+
+    __slots__ = (
+        "store",
+        "user",
+        "window_size",
+        "min_gap",
+        "_t",
+        "_ring",
+        "_window_counts",
+        "_recent_counts",
+        "_last_pos",
+        "_view_cache",
+    )
+
+    def __init__(
+        self,
+        store: HistoryStore,
+        user: int,
+        window_size: int,
+        min_gap: int = 0,
+    ) -> None:
+        if window_size <= 0:
+            raise DataError(f"window_size must be positive, got {window_size}")
+        if min_gap < 0:
+            raise DataError(f"min_gap must be non-negative, got {min_gap}")
+        if user < 0:
+            raise DataError(f"user index must be non-negative, got {user}")
+        self.store = store
+        self.user = int(user)
+        self.window_size = window_size
+        self.min_gap = min_gap
+        t = store.length(self.user)
+        self._t = t
+        span = max(window_size, min_gap)
+        recent = store.recent_items(self.user, span).tolist()
+        # Fixed-size circular buffer over absolute positions: the item
+        # at position p (for p >= t - span) sits in slot p % span.
+        ring: List[int] = [-1] * span
+        first = t - len(recent)
+        for offset, item in enumerate(recent):
+            ring[(first + offset) % span] = item
+        self._ring = ring
+        window_counts: Dict[int, int] = {}
+        for item in recent[max(0, len(recent) - window_size):]:
+            window_counts[item] = window_counts.get(item, 0) + 1
+        recent_counts: Dict[int, int] = {}
+        if min_gap > 0:
+            for item in recent[max(0, len(recent) - min_gap):]:
+                recent_counts[item] = recent_counts.get(item, 0) + 1
+        self._window_counts = window_counts
+        self._recent_counts = recent_counts
+        # Last positions for the ring span only; enumeration overwrites,
+        # so each entry is that item's most recent — and therefore
+        # *global* — last position. Items older than the span miss and
+        # fall back to the store slice's occurrence index.
+        last_pos: Dict[int, int] = {}
+        for offset, item in enumerate(recent):
+            last_pos[item] = first + offset
+        self._last_pos = last_pos
+        self._view_cache: Optional[ConsumptionSequence] = None
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    @property
+    def t(self) -> int:
+        """Current position: state describes the window before ``t``."""
+        return self._t
+
+    @property
+    def n_live_events(self) -> int:
+        """Live events of this user held by the store.
+
+        Unlike ``LiveSession`` this survives session eviction — the
+        events live in the store, not the session — which is exactly
+        what the ingest idempotency check wants: the count of durable
+        live events, however many session objects came and went.
+        """
+        return self.store.live_count(self.user)
+
+    def append(self, item: int) -> int:
+        """Ingest one live event; returns its position.
+
+        The counting updates are ``ScoringSession.advance`` verbatim;
+        the evicted window/Ω items are read from the ring instead of a
+        full item list. The event is written through to the store first,
+        so store and session can never disagree about the history.
+        """
+        item = int(item)
+        if item < 0:
+            raise DataError(f"item indices must be non-negative, got {item}")
+        t = self._t
+        position = self.store.append(self.user, item)
+        if position != t:
+            raise DataError(
+                f"store holds {position} events for user {self.user} but "
+                f"this session is at t={t}: two writers on one user?"
+            )
+        ring = self._ring
+        span = len(ring)
+        window_tail = t - self.window_size
+        leaving_window = ring[window_tail % span] if window_tail >= 0 else -1
+        recent_tail = t - self.min_gap
+        leaving_recent = (
+            ring[recent_tail % span]
+            if self.min_gap > 0 and recent_tail >= 0
+            else -1
+        )
+        ring[t % span] = item
+        self._last_pos[item] = t
+        window_counts = self._window_counts
+        window_counts[item] = window_counts.get(item, 0) + 1
+        if window_tail >= 0:
+            remaining = window_counts[leaving_window] - 1
+            if remaining:
+                window_counts[leaving_window] = remaining
+            else:
+                del window_counts[leaving_window]
+        if self.min_gap > 0:
+            recent_counts = self._recent_counts
+            recent_counts[item] = recent_counts.get(item, 0) + 1
+            if recent_tail >= 0:
+                remaining = recent_counts[leaving_recent] - 1
+                if remaining:
+                    recent_counts[leaving_recent] = remaining
+                else:
+                    del recent_counts[leaving_recent]
+        self._t = t + 1
+        self._view_cache = None
+        return t
+
+    # ------------------------------------------------------------------
+    # State accessors (contracts identical to LiveSession's)
+    # ------------------------------------------------------------------
+    def window_length(self) -> int:
+        """Number of consumptions in the window before ``t``."""
+        return min(self._t, self.window_size)
+
+    def window_count(self, item: int) -> int:
+        """Occurrences of ``item`` in the window before ``t``."""
+        return self._window_counts.get(int(item), 0)
+
+    def window_counts_map(self) -> Dict[int, int]:
+        """The live item → window-count dict. Treat as read-only."""
+        return self._window_counts
+
+    def candidates(self) -> List[int]:
+        """The Ω-filtered RRC candidate set before ``t`` (sorted)."""
+        recent = self._recent_counts
+        if recent:
+            return sorted(
+                [item for item in self._window_counts if item not in recent]
+            )
+        return sorted(self._window_counts)
+
+    def last_position(self, item: int) -> int:
+        """``l_ut(v)`` — last occurrence strictly before ``t`` (-1 if never).
+
+        O(1) for anything consumed within the ring span (every window
+        item, hence every candidate); older items fall back to the
+        cached slice's occurrence index.
+        """
+        item = int(item)
+        position = self._last_pos.get(item)
+        if position is not None:
+            return position
+        return self.sequence().last_position_before(item, self._t)
+
+    def last_positions(self, items) -> np.ndarray:
+        """Last occurrences before ``t`` for many items (-1 if never)."""
+        keys = items.tolist() if isinstance(items, np.ndarray) else items
+        return np.array(
+            [self.last_position(key) for key in keys], dtype=np.int64
+        )
+
+    def is_next_target(self, item: int) -> bool:
+        """Whether consuming ``item`` *now* would be an RRC target.
+
+        Equivalent to ``LiveSession``'s last-position arithmetic via the
+        multisets alone: gap ≤ ``window_size`` ⟺ the item is in the
+        window multiset, and gap > ``min_gap`` ⟺ it is not in the Ω
+        multiset — no history lookup at all.
+        """
+        item = int(item)
+        return (
+            item in self._window_counts
+            and item not in self._recent_counts
+        )
+
+    def sequence(self) -> ConsumptionSequence:
+        """The full history as an immutable sequence (zero-copy view).
+
+        Arena-backed stores answer this with a borrowed slice (plus the
+        fused tail when live events exist); nothing is re-fetched per
+        session. Cached until the next append.
+        """
+        if self._view_cache is None:
+            view = self.store.slice(self.user)
+            self._view_cache = (
+                view
+                if view is not None
+                else ConsumptionSequence(self.user, [])
+            )
+        return self._view_cache
+
+    def state_fingerprint(self) -> str:
+        """Digest comparable with ``LiveSession``/``ScoringSession``.
+
+        Delegates to the store's canonical full-history digest — the
+        fixed-size session state never holds every last position, so the
+        digest is recomputed from the (zero-copy) history view.
+        """
+        return self.store.fingerprint(
+            self.user, self.window_size, self.min_gap
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreSession(user={self.user}, t={self._t}, "
+            f"live={self.n_live_events}, window_size={self.window_size}, "
+            f"min_gap={self.min_gap})"
+        )

@@ -25,6 +25,7 @@ from repro.data.split import SplitDataset
 from repro.exceptions import ServingError, ServingUnavailableError
 from repro.models.recency import RecencyRecommender
 from repro.serving import ServiceConfig, ServingClient, service_for_split
+from repro.store import SessionArena
 
 #: Every user of the conftest gowalla split (it has 6).
 USERS = list(range(6))
@@ -348,3 +349,40 @@ class TestValidation:
         finally:
             # Leave the fixture healthy for teardown.
             wait_for_state(supervisor, victim, RUNNING)
+
+
+class TestSharedArena:
+    def test_shards_share_one_mmap_arena(
+        self, gowalla_split: SplitDataset, tmp_path
+    ) -> None:
+        """``store="arena-mmap"`` packs the columns once for all shards.
+
+        The supervisor saves the arena under the run dir before any
+        worker forks; every shard opens the same files read-only. The
+        served fingerprints must still match
+        ``expected_fingerprints`` — which deliberately replays over the
+        legacy callable provider — so agreement here is a live
+        cross-representation identity proof through real processes.
+        """
+        supervisor = make_supervisor(
+            gowalla_split, tmp_path, n_shards=2, store="arena-mmap"
+        )
+        shared = tmp_path / "cluster" / "arena"
+        assert SessionArena.exists(str(shared))
+        specs = [supervisor._handle(n).spec for n in supervisor.shard_names()]
+        assert all(spec.store == "arena-mmap" for spec in specs)
+        assert len({spec.store_dir for spec in specs}) == 1
+        supervisor.start()
+        router = ClusterRouter(supervisor, port=0).start()
+        try:
+            client = ServingClient(router.url, timeout=30.0)
+            for user, item in stream_for(gowalla_split, USERS):
+                client.ingest(user, item)
+            for user in USERS:
+                assert client.recommend_items(user, k=5)
+                shard = supervisor.ring.owner(user)
+                expected = supervisor.expected_fingerprints(shard, [user])
+                assert client.state(user)["fingerprint"] == expected[user]
+        finally:
+            router.close()
+            supervisor.close()
