@@ -12,11 +12,20 @@ Usage::
 
     python benchmarks/check_serving_regression.py [--tolerance 1.2] \
         [--baseline-ref HEAD]
+    python benchmarks/check_serving_regression.py --update-baseline
+
+Every failure mode is a one-line diagnosis, never a traceback: a
+missing or malformed fresh file, a fresh file whose schema lacks the
+guarded metric, and a missing/malformed/schema-mismatched baseline each
+say exactly what happened and what to do. ``--update-baseline``
+normalizes the fresh measurement file in place (sorted keys, so diffs
+stay reviewable) and exits 0 — commit the result to accept the new
+numbers as the baseline.
 
 Exit codes: 0 = within tolerance (or no baseline to compare against —
 the first run that records the metric cannot regress), 1 = regression,
-2 = the fresh measurement file is missing or lacks the metric (the
-bench did not run).
+2 = the fresh measurement file is missing, malformed, or lacks the
+metric (the bench did not run or its schema drifted).
 """
 
 from __future__ import annotations
@@ -29,33 +38,66 @@ from pathlib import Path
 
 METRIC_KEY = "tsppr_bursty_inflight"
 FIELD = "p99_ms"
-BENCH_FILE = Path(__file__).resolve().parent / "BENCH_serving.json"
+DEFAULT_BENCH_FILE = Path(__file__).resolve().parent / "BENCH_serving.json"
 
 
-def load_metric(payload: dict) -> float | None:
+def load_metric(payload: object) -> float | None:
     """``results.tsppr_bursty_inflight.p99_ms`` or None if absent."""
-    entry = payload.get("results", {}).get(METRIC_KEY, {})
+    if not isinstance(payload, dict):
+        return None
+    results = payload.get("results")
+    if not isinstance(results, dict):
+        return None
+    entry = results.get(METRIC_KEY)
+    if not isinstance(entry, dict):
+        return None
     value = entry.get(FIELD)
     return float(value) if isinstance(value, (int, float)) else None
 
 
-def baseline_payload(ref: str) -> dict | None:
-    """The committed BENCH_serving.json at ``ref``, or None if absent."""
-    relative = BENCH_FILE.relative_to(BENCH_FILE.parent.parent)
+def fresh_payload(bench_file: Path) -> tuple[dict | None, str | None]:
+    """The fresh measurement document, or ``(None, why it's unusable)``."""
+    if not bench_file.exists():
+        return None, f"{bench_file} missing — run the serving bench first"
+    try:
+        payload = json.loads(bench_file.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, (
+            f"{bench_file.name} is not readable JSON ({exc}) — re-run the "
+            f"serving bench to regenerate it"
+        )
+    if not isinstance(payload, dict):
+        return None, (
+            f"{bench_file.name} holds a JSON {type(payload).__name__}, "
+            f"expected an object — re-run the serving bench"
+        )
+    return payload, None
+
+
+def baseline_payload(ref: str, bench_file: Path) -> tuple[dict | None, str]:
+    """The committed bench file at ``ref`` and a note when unusable."""
+    relative = bench_file.relative_to(bench_file.parent.parent)
     try:
         blob = subprocess.run(
             ["git", "show", f"{ref}:{relative.as_posix()}"],
-            cwd=BENCH_FILE.parent.parent,
+            cwd=bench_file.parent.parent,
             capture_output=True,
             text=True,
             check=True,
         ).stdout
     except (subprocess.CalledProcessError, FileNotFoundError):
-        return None
+        return None, f"no committed {bench_file.name} at {ref}"
     try:
-        return json.loads(blob)
-    except json.JSONDecodeError:
-        return None
+        payload = json.loads(blob)
+    except json.JSONDecodeError as exc:
+        return None, (
+            f"committed {bench_file.name} at {ref} is not valid JSON ({exc})"
+        )
+    if not isinstance(payload, dict):
+        return None, (
+            f"committed {bench_file.name} at {ref} is not a JSON object"
+        )
+    return payload, ""
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,24 +113,56 @@ def main(argv: list[str] | None = None) -> int:
         default="HEAD",
         help="git ref whose committed BENCH_serving.json is the baseline",
     )
+    parser.add_argument(
+        "--bench-file",
+        type=Path,
+        default=DEFAULT_BENCH_FILE,
+        help="fresh measurement file (default: benchmarks/BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="normalize the fresh measurement file in place and exit 0; "
+        "commit it to accept the fresh numbers as the new baseline",
+    )
     args = parser.parse_args(argv)
 
-    if not BENCH_FILE.exists():
-        print(f"regression check: {BENCH_FILE} missing — run the serving "
-              "bench first", file=sys.stderr)
+    payload, problem = fresh_payload(args.bench_file)
+    if payload is None:
+        print(f"regression check: {problem}", file=sys.stderr)
         return 2
-    fresh = load_metric(json.loads(BENCH_FILE.read_text()))
+    fresh = load_metric(payload)
     if fresh is None:
-        print(f"regression check: fresh {METRIC_KEY}.{FIELD} missing from "
-              f"{BENCH_FILE.name} — run the serving bench first",
-              file=sys.stderr)
+        print(
+            f"regression check: fresh {METRIC_KEY}.{FIELD} missing from "
+            f"{args.bench_file.name} (schema mismatch or partial bench "
+            f"run) — run the serving bench, then retry",
+            file=sys.stderr,
+        )
         return 2
 
-    committed = baseline_payload(args.baseline_ref)
-    baseline = load_metric(committed) if committed else None
+    if args.update_baseline:
+        args.bench_file.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"regression check: baseline updated — {args.bench_file.name} "
+            f"now records {METRIC_KEY}.{FIELD} = {fresh:.3f}; commit it to "
+            f"make this the baseline"
+        )
+        return 0
+
+    committed, note = baseline_payload(args.baseline_ref, args.bench_file)
+    baseline = load_metric(committed) if committed is not None else None
     if baseline is None:
-        print(f"regression check: no committed {METRIC_KEY}.{FIELD} at "
-              f"{args.baseline_ref} — nothing to regress against; passing")
+        if committed is not None:
+            note = (
+                f"committed {args.bench_file.name} at {args.baseline_ref} "
+                f"lacks {METRIC_KEY}.{FIELD} (schema mismatch)"
+            )
+        print(
+            f"regression check: {note} — nothing to regress against; passing"
+        )
         return 0
 
     bound = baseline * args.tolerance
@@ -98,7 +172,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{fresh:.3f} vs baseline {baseline:.3f} at {args.baseline_ref} "
         f"(bound {bound:.3f} = baseline x {args.tolerance})"
     )
-    return 1 if fresh > bound else 0
+    if fresh > bound:
+        print(
+            "  to accept the fresh numbers instead, run "
+            "'python benchmarks/check_serving_regression.py "
+            "--update-baseline' and commit the file",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -21,75 +21,20 @@ engine — so the numbers can be compared across PRs.
 import json
 import platform
 from pathlib import Path
-from typing import Dict, List
 
-import numpy as np
 import pytest
 
 from repro.experiments.common import FAST_SCALE
 from repro.experiments.registry import run_experiment
+# The arrival-process toolbox moved into the library so the autotuner's
+# measured validation paces candidates exactly as the benches do; the
+# name is re-exported here because the benches (and their history) use it.
+from repro.tuning.load import LoadGenerator
+
+__all__ = ["LoadGenerator"]
 
 #: Measurements grouped by output file stem, e.g. ``{"training": {...}}``.
 _BENCH_RESULTS = {}
-
-
-class LoadGenerator:
-    """Deterministic arrival processes shared by the serving/cluster benches.
-
-    Latency guards are only comparable when every mode replays the
-    *same* arrival schedule, so the generators are seeded and pure: the
-    serving bench feeds both batching modes one schedule from
-    :meth:`bursty_times`, and the cluster benches pace their client
-    threads with :meth:`poisson_gaps` instead of ad-hoc tight loops.
-    """
-
-    @staticmethod
-    def poisson_gaps(n: int, rate_hz: float, seed: int) -> np.ndarray:
-        """``n`` exponential inter-arrival gaps (seconds) at ``rate_hz``."""
-        rng = np.random.default_rng(seed)
-        return rng.exponential(1.0 / rate_hz, size=n)
-
-    @staticmethod
-    def bursty_times(
-        n: int,
-        *,
-        seed: int,
-        calm_rate_hz: float,
-        burst_size: int,
-        calm_between: int,
-    ) -> np.ndarray:
-        """Absolute arrival times of a bursty (Markov-modulated) process.
-
-        Alternates a calm phase — ``calm_between`` arrivals with
-        exponential gaps at ``calm_rate_hz`` — with a burst phase of
-        ``burst_size`` simultaneous arrivals. This is the adversarial
-        shape for drain-then-refill batching: bursts overwhelm one
-        batch window while calm singles pay the full straggler wait.
-        """
-        rng = np.random.default_rng(seed)
-        times: List[float] = []
-        t = 0.0
-        while len(times) < n:
-            for _ in range(calm_between):
-                t += rng.exponential(1.0 / calm_rate_hz)
-                times.append(t)
-                if len(times) >= n:
-                    break
-            if len(times) >= n:
-                break
-            t += rng.exponential(1.0 / calm_rate_hz)
-            times.extend([t] * min(burst_size, n - len(times)))
-        return np.asarray(times[:n], dtype=np.float64)
-
-    @staticmethod
-    def percentiles_ms(latencies) -> Dict[str, float]:
-        """p50/p95/p99 of a latency list (seconds in, milliseconds out)."""
-        values = np.asarray(latencies, dtype=np.float64) * 1e3
-        return {
-            "p50_ms": round(float(np.percentile(values, 50)), 3),
-            "p95_ms": round(float(np.percentile(values, 95)), 3),
-            "p99_ms": round(float(np.percentile(values, 99)), 3),
-        }
 
 
 @pytest.fixture(scope="session")

@@ -64,6 +64,17 @@ class ExperimentError(ReproError):
     """An experiment runner was misconfigured or referenced unknown ids."""
 
 
+class TuningError(ReproError):
+    """A knob, machine profile, or autotune run is invalid.
+
+    Raised when a knob value falls outside its registered range, when a
+    machine-profile file is malformed / stale-versioned / checksum-torn,
+    or when a tune journal cannot be resumed — always at *load* time, so
+    a bad profile fails the server at startup with a typed error instead
+    of crashing mid-serve.
+    """
+
+
 class ServingError(ReproError):
     """The online serving layer received an invalid request or reply."""
 

@@ -93,6 +93,7 @@ class Recommender(ABC):
         self._checkpoint_manager: Optional[CheckpointManager] = None
         self._fault_injector: Optional[FaultInjector] = None
         self._fit_workers = 1
+        self._sgd_block: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -105,7 +106,9 @@ class Recommender(ABC):
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1,
         fault_injector: Optional[FaultInjector] = None,
-        fit_workers: int = 1,
+        fit_workers: Optional[int] = None,
+        sgd_block: Optional[int] = None,
+        profile: Optional[Union[str, Path, "object"]] = None,
     ) -> "Recommender":
         """Fit on the training prefixes of ``split``.
 
@@ -127,9 +130,26 @@ class Recommender(ABC):
             Worker processes for the parallelizable parts of training
             (currently the feature-cache build). Results are
             bit-identical at any worker count; models without a
-            feature cache ignore it.
+            feature cache ignore it. ``None`` defers to the profile
+            (when given), else the registry default.
+        sgd_block:
+            Cap on updates per block-SGD kernel call (see
+            :func:`repro.optim.sgd.run_sgd`); results are bit-identical
+            at any block size. ``None`` defers to the profile, else
+            unbounded; 0 also means unbounded.
+        profile:
+            A machine profile (path or
+            :class:`~repro.tuning.profile.MachineProfile`) written by
+            ``repro-experiments tune training``. Fills any training
+            knob not explicitly passed — precedence is explicit
+            argument > profile > registry default — and logs the
+            resolved values.
         """
         window = window or WindowConfig()
+        resolved_workers, resolved_block = self._resolve_training_knobs(
+            fit_workers, sgd_block, profile
+        )
+        fit_workers = resolved_workers
         if fit_workers < 1:
             raise EvaluationError(
                 f"fit_workers must be positive, got {fit_workers}"
@@ -137,6 +157,7 @@ class Recommender(ABC):
         self._window_config = window
         self._fault_injector = fault_injector
         self._fit_workers = fit_workers
+        self._sgd_block = resolved_block or None
         self._checkpoint_manager = None
         if checkpoint_dir is not None:
             self._checkpoint_manager = CheckpointManager(
@@ -147,6 +168,40 @@ class Recommender(ABC):
         self._fit(split, window)
         self._fitted = True
         return self
+
+    @staticmethod
+    def _resolve_training_knobs(
+        fit_workers: Optional[int],
+        sgd_block: Optional[int],
+        profile: Optional[Union[str, Path, "object"]],
+    ) -> "tuple[int, int]":
+        """Resolve training knobs: explicit argument > profile > default.
+
+        Imports lazily so models stay importable without the tuning
+        stack and a plain ``fit()`` pays nothing for it.
+        """
+        from repro.tuning.defaults import describe, resolve, values_of
+        from repro.tuning.profile import load_profile_knobs
+
+        explicit = {"fit_workers": fit_workers, "sgd_block": sgd_block}
+        profile_knobs = (
+            load_profile_knobs(profile, "training")
+            if profile is not None
+            else {}
+        )
+        resolved = resolve(
+            "training",
+            cli={k: v for k, v in explicit.items() if v is not None},
+            profile=profile_knobs,
+        )
+        if profile is not None:
+            from repro.logging_utils import get_logger
+
+            get_logger("models.base").info(
+                "resolved training knobs: %s", describe(resolved)
+            )
+        values = values_of(resolved)
+        return int(values["fit_workers"]), int(values["sgd_block"])  # type: ignore[arg-type]
 
     @abstractmethod
     def _fit(self, split: SplitDataset, window: WindowConfig) -> None:

@@ -44,9 +44,10 @@ from repro.serving.events import EventLog
 from repro.serving.server import RecommendServer
 from repro.serving.service import ServiceConfig, service_for_split
 from repro.serving.state import SessionStore
-from repro.store import STORE_KINDS
 from repro.synth.gowalla import generate_gowalla
 from repro.synth.lastfm import generate_lastfm
+from repro.tuning.defaults import ResolvedKnob, describe, knob, resolve, values_of
+from repro.tuning.profile import load_profile_knobs
 
 logger = get_logger("serving.cli")
 
@@ -55,6 +56,23 @@ MODEL_CHOICES = ("recency", "pop", "tsppr", "ppr", "fpmc")
 
 #: Dataset names accepted by ``--dataset``.
 DATASET_CHOICES = ("gowalla", "lastfm")
+
+#: Registry knobs ``serve`` exposes as flags (argparse dest == knob name).
+SERVE_KNOB_ARGS = (
+    "batching",
+    "max_batch",
+    "max_wait_ms",
+    "check_interval",
+    "max_inflight_rows",
+    "admission_wait_ms",
+    "capacity",
+    "store",
+)
+
+#: Registry knobs ``cluster`` exposes (no micro-batch sizing flags).
+CLUSTER_KNOB_ARGS = tuple(
+    name for name in SERVE_KNOB_ARGS if name not in ("max_batch", "max_wait_ms")
+)
 
 
 def build_split(dataset: str, seed: int) -> SplitDataset:
@@ -88,17 +106,66 @@ def build_model(
     return model.fit(split)
 
 
+def _knob_flag_help(name: str) -> str:
+    """Registry help + default, so flag docs never drift from the registry."""
+    entry = knob("serving", name)
+    return f"{entry.help} (default: {entry.default})"
+
+
+def add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    """``--profile``: load tuned knob values written by the autotuner."""
+    parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        help="machine profile written by 'repro-experiments tune'; knob "
+        "precedence is CLI flag > profile > built-in default, and every "
+        "resolved knob is logged with its provenance at startup",
+    )
+
+
+def resolve_knob_args(
+    args: argparse.Namespace,
+    subsystem: str,
+    names: Sequence[str],
+    required: bool = True,
+) -> "dict[str, ResolvedKnob]":
+    """Resolve a subcommand's knob flags against its profile (if any).
+
+    ``names`` lists the argparse dests (== knob names) the subcommand
+    exposes; their parser defaults are ``None`` sentinels, so only knobs
+    the user explicitly set override the profile.
+    """
+    cli = {
+        name: getattr(args, name)
+        for name in names
+        if getattr(args, name, None) is not None
+    }
+    profile_path = getattr(args, "profile", None)
+    profile_knobs = (
+        load_profile_knobs(profile_path, subsystem, required=required)
+        if profile_path is not None
+        else {}
+    )
+    resolved = resolve(subsystem, cli=cli, profile=profile_knobs)
+    logger.info(
+        "resolved %s knobs%s: %s",
+        subsystem,
+        f" (profile {profile_path})" if profile_path is not None else "",
+        describe(resolved),
+    )
+    return resolved
+
+
 def add_store_arguments(
     parser: argparse.ArgumentParser, include_dir: bool = True
 ) -> None:
     """History-backing options shared by serve, cluster, and replay."""
     parser.add_argument(
         "--store",
-        default="arena",
-        choices=STORE_KINDS,
-        help="session history backing: columnar arena (default), "
-        "memory-mapped arena (arena-mmap), or per-user Python lists "
-        "(dict); answers and fingerprints are bit-identical either way",
+        default=None,
+        choices=knob("serving", "store").choices,
+        help=_knob_flag_help("store"),
     )
     if include_dir:
         parser.add_argument(
@@ -114,32 +181,27 @@ def add_batching_arguments(parser: argparse.ArgumentParser) -> None:
     """Scoring-loop options shared by ``serve`` and ``cluster``."""
     parser.add_argument(
         "--batching",
-        default="inflight",
-        choices=("inflight", "microbatch"),
-        help="scoring loop: continuously fed packed batch (inflight) or "
-        "drain-then-refill micro-batches (microbatch); answers are "
-        "bit-identical either way",
+        default=None,
+        choices=knob("serving", "batching").choices,
+        help=_knob_flag_help("batching"),
     )
     parser.add_argument(
         "--check-interval",
         type=int,
-        default=16,
-        help="in-flight mode: max queries scored per model call — the "
-        "kernel-boundary granularity at which requests admit and retire",
+        default=None,
+        help=_knob_flag_help("check_interval"),
     )
     parser.add_argument(
         "--max-inflight-rows",
         type=int,
-        default=32768,
-        help="in-flight mode: admission-control bound on packed candidate "
-        "rows; requests beyond it wait in the overflow queue",
+        default=None,
+        help=_knob_flag_help("max_inflight_rows"),
     )
     parser.add_argument(
         "--admission-wait-ms",
         type=float,
-        default=0.0,
-        help="in-flight mode: optional growth-gated coalescing wait at the "
-        "start of a busy period (0 = admit and score immediately)",
+        default=None,
+        help=_knob_flag_help("admission_wait_ms"),
     )
 
 
@@ -170,23 +232,24 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--capacity",
         type=int,
-        default=1024,
-        help="max resident live sessions before LRU eviction",
+        default=None,
+        help=_knob_flag_help("capacity"),
     )
     add_store_arguments(parser)
     parser.add_argument(
         "--max-batch",
         type=int,
-        default=64,
-        help="max recommend requests coalesced into one scoring batch",
+        default=None,
+        help=_knob_flag_help("max_batch"),
     )
     parser.add_argument(
         "--max-wait-ms",
         type=float,
-        default=2.0,
-        help="micro-batch mode: how long a batch waits for stragglers",
+        default=None,
+        help=_knob_flag_help("max_wait_ms"),
     )
     add_batching_arguments(parser)
+    add_profile_argument(parser)
     parser.add_argument(
         "--deadline-ms",
         type=float,
@@ -245,8 +308,8 @@ def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--capacity",
         type=int,
-        default=1024,
-        help="per-shard max resident live sessions before LRU eviction",
+        default=None,
+        help="per-shard " + _knob_flag_help("capacity"),
     )
     # The supervisor owns the packed-column location (run_dir/arena), so
     # the cluster form has no --store-dir.
@@ -264,6 +327,7 @@ def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         help="durability policy of every shard WAL",
     )
     add_batching_arguments(parser)
+    add_profile_argument(parser)
     parser.add_argument(
         "--heartbeat-interval",
         type=float,
@@ -305,6 +369,7 @@ def add_replay_arguments(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=7, help="dataset seed (must match serve)"
     )
     add_store_arguments(parser)
+    add_profile_argument(parser)
     parser.add_argument(
         "--user",
         type=int,
@@ -342,6 +407,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def run_serve(args: argparse.Namespace) -> int:
     """Build split + model + service and serve until interrupted."""
+    resolved = resolve_knob_args(args, "serving", SERVE_KNOB_ARGS)
+    knobs = values_of(resolved)
+    print(f"resolved serving knobs: {describe(resolved)}")
     split = build_split(args.dataset, args.seed)
     model = build_model(args.model, split, args.max_epochs, args.seed)
     event_log = (
@@ -349,12 +417,12 @@ def run_serve(args: argparse.Namespace) -> int:
     )
     config = ServiceConfig(
         default_deadline_ms=args.deadline_ms,
-        batching=args.batching,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        check_interval=args.check_interval,
-        max_inflight_rows=args.max_inflight_rows,
-        admission_wait_ms=args.admission_wait_ms,
+        batching=str(knobs["batching"]),
+        max_batch=int(knobs["max_batch"]),  # type: ignore[arg-type]
+        max_wait_ms=float(knobs["max_wait_ms"]),  # type: ignore[arg-type]
+        check_interval=int(knobs["check_interval"]),  # type: ignore[arg-type]
+        max_inflight_rows=int(knobs["max_inflight_rows"]),  # type: ignore[arg-type]
+        admission_wait_ms=float(knobs["admission_wait_ms"]),  # type: ignore[arg-type]
         n_items=split.n_items,
     )
     service = service_for_split(
@@ -362,8 +430,8 @@ def run_serve(args: argparse.Namespace) -> int:
         split,
         event_log=event_log,
         config=config,
-        capacity=args.capacity,
-        store=args.store,
+        capacity=int(knobs["capacity"]),  # type: ignore[arg-type]
+        store=str(knobs["store"]),
         store_dir=(
             str(args.store_dir) if args.store_dir is not None else None
         ),
@@ -393,14 +461,17 @@ def run_cluster(args: argparse.Namespace) -> int:
     from repro.cluster.router import ClusterRouter
     from repro.cluster.supervisor import ShardSupervisor
 
+    resolved = resolve_knob_args(args, "cluster", CLUSTER_KNOB_ARGS)
+    knobs = values_of(resolved)
+    print(f"resolved cluster knobs: {describe(resolved)}")
     split = build_split(args.dataset, args.seed)
     model = build_model(args.model, split, args.max_epochs, args.seed)
     config = ServiceConfig(
         default_deadline_ms=args.deadline_ms,
-        batching=args.batching,
-        check_interval=args.check_interval,
-        max_inflight_rows=args.max_inflight_rows,
-        admission_wait_ms=args.admission_wait_ms,
+        batching=str(knobs["batching"]),
+        check_interval=int(knobs["check_interval"]),  # type: ignore[arg-type]
+        max_inflight_rows=int(knobs["max_inflight_rows"]),  # type: ignore[arg-type]
+        admission_wait_ms=float(knobs["admission_wait_ms"]),  # type: ignore[arg-type]
         n_items=split.n_items,
     )
     supervisor = ShardSupervisor(
@@ -409,12 +480,12 @@ def run_cluster(args: argparse.Namespace) -> int:
         config,
         n_shards=args.shards,
         run_dir=args.run_dir,
-        capacity=args.capacity,
+        capacity=int(knobs["capacity"]),  # type: ignore[arg-type]
         host=args.host,
         vnodes=args.vnodes,
         heartbeat_interval_s=args.heartbeat_interval,
         fsync_policy=args.fsync_policy,
-        store=args.store,
+        store=str(knobs["store"]),
     )
     supervisor.start()
     router = ClusterRouter(supervisor, host=args.host, port=args.port)
@@ -434,10 +505,13 @@ def run_replay(args: argparse.Namespace) -> int:
     if not args.event_log.exists():
         print(f"event log not found: {args.event_log}", file=sys.stderr)
         return 1
+    resolved = resolve_knob_args(
+        args, "serving", ("store",), required=False
+    )
     log = EventLog.open(args.event_log, readonly=True)
     split = build_split(args.dataset, args.seed)
     provider = split.history_store(
-        kind=args.store,
+        kind=str(resolved["store"].value),
         base="train",
         directory=(
             str(args.store_dir) if args.store_dir is not None else None

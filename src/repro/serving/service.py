@@ -72,8 +72,13 @@ from repro.models.recency import RecencyRecommender
 from repro.serving.events import EventLog
 from repro.serving.metrics import ServingMetrics
 from repro.serving.state import SessionStore
+from repro.tuning.defaults import defaults_for
 
 logger = get_logger("serving.service")
+
+#: Registry-declared serving knob defaults (one source of truth; see
+#: ``repro.tuning.defaults``), consumed as ServiceConfig field defaults.
+_KNOB_DEFAULTS = defaults_for("serving")
 
 
 @dataclass(frozen=True)
@@ -142,12 +147,12 @@ class ServiceConfig:
 
     window: WindowConfig = field(default_factory=WindowConfig)
     default_k: int = 10
-    batching: str = "inflight"
-    max_batch: int = 64
-    max_wait_ms: float = 2.0
-    admission_wait_ms: float = 0.0
-    max_inflight_rows: int = 32768
-    check_interval: int = 16
+    batching: str = str(_KNOB_DEFAULTS["batching"])
+    max_batch: int = int(_KNOB_DEFAULTS["max_batch"])  # type: ignore[arg-type]
+    max_wait_ms: float = float(_KNOB_DEFAULTS["max_wait_ms"])  # type: ignore[arg-type]
+    admission_wait_ms: float = float(_KNOB_DEFAULTS["admission_wait_ms"])  # type: ignore[arg-type]
+    max_inflight_rows: int = int(_KNOB_DEFAULTS["max_inflight_rows"])  # type: ignore[arg-type]
+    check_interval: int = int(_KNOB_DEFAULTS["check_interval"])  # type: ignore[arg-type]
     manual_pump: bool = False
     default_deadline_ms: Optional[float] = None
     n_items: Optional[int] = None
@@ -968,8 +973,8 @@ def service_for_split(
     split: SplitDataset,
     event_log: Optional[EventLog] = None,
     config: Optional[ServiceConfig] = None,
-    capacity: int = 1024,
-    store: str = "arena",
+    capacity: int = int(_KNOB_DEFAULTS["capacity"]),  # type: ignore[arg-type]
+    store: str = str(_KNOB_DEFAULTS["store"]),
     store_dir: Optional[str] = None,
 ) -> RecommendService:
     """Wire a service whose base histories are a split's training prefixes.

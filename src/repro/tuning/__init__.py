@@ -1,12 +1,83 @@
-"""Hyper-parameter search over :class:`~repro.config.TSPPRConfig`.
+"""Tuning: hyper-parameter grid search + profile-guided autotuning.
 
-The paper's Section 5.5 sweeps λ, γ, K, S, and Ω one axis at a time;
-:class:`~repro.tuning.grid.GridSearch` generalizes that into a reusable
-utility: give it a parameter grid (including the window's ``min_gap``),
-it trains one model per point, evaluates with the RRC protocol, and
-returns a ranked table of results.
+Two layers live here:
+
+* **Model hyper-parameters** — :class:`~repro.tuning.grid.GridSearch`
+  generalizes the paper's Section 5.5 one-axis-at-a-time sweeps over
+  λ, γ, K, S, Ω into a reusable utility.
+* **System knobs** — the profile-guided autotuner: a knob registry
+  (:mod:`~repro.tuning.defaults`), machine micro-probes
+  (:mod:`~repro.tuning.probe`), an analytic cost model
+  (:mod:`~repro.tuning.cost`), measured validation
+  (:mod:`~repro.tuning.measure`), the search engine
+  (:mod:`~repro.tuning.autotune`), and the checksummed machine-profile
+  file servers load at startup (:mod:`~repro.tuning.profile`).
+
+Attribute access is lazy (PEP 562) so importing :mod:`repro.tuning` —
+which :mod:`repro.serving.service` does at class-definition time for
+registry defaults — never drags in the model/serving stacks.
 """
 
-from repro.tuning.grid import GridPointResult, GridSearch, expand_grid
+from typing import TYPE_CHECKING
 
-__all__ = ["GridPointResult", "GridSearch", "expand_grid"]
+_EXPORTS = {
+    "GridPointResult": "repro.tuning.grid",
+    "GridSearch": "repro.tuning.grid",
+    "expand_grid": "repro.tuning.grid",
+    "AutoTuner": "repro.tuning.autotune",
+    "TuneJournal": "repro.tuning.autotune",
+    "CostModel": "repro.tuning.cost",
+    "Prediction": "repro.tuning.cost",
+    "WorkloadShape": "repro.tuning.cost",
+    "Knob": "repro.tuning.defaults",
+    "KNOBS": "repro.tuning.defaults",
+    "ResolvedKnob": "repro.tuning.defaults",
+    "SUBSYSTEMS": "repro.tuning.defaults",
+    "default_of": "repro.tuning.defaults",
+    "defaults_for": "repro.tuning.defaults",
+    "describe": "repro.tuning.defaults",
+    "knobs_for": "repro.tuning.defaults",
+    "resolve": "repro.tuning.defaults",
+    "values_of": "repro.tuning.defaults",
+    "LoadGenerator": "repro.tuning.load",
+    "ServingWorkload": "repro.tuning.measure",
+    "TrainingWorkload": "repro.tuning.measure",
+    "MachineProbe": "repro.tuning.probe",
+    "probe_machine": "repro.tuning.probe",
+    "MachineProfile": "repro.tuning.profile",
+    "load_profile_knobs": "repro.tuning.profile",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.tuning.autotune import AutoTuner, TuneJournal
+    from repro.tuning.cost import CostModel, Prediction, WorkloadShape
+    from repro.tuning.defaults import (
+        KNOBS,
+        SUBSYSTEMS,
+        Knob,
+        ResolvedKnob,
+        default_of,
+        defaults_for,
+        describe,
+        knobs_for,
+        resolve,
+        values_of,
+    )
+    from repro.tuning.grid import GridPointResult, GridSearch, expand_grid
+    from repro.tuning.load import LoadGenerator
+    from repro.tuning.measure import ServingWorkload, TrainingWorkload
+    from repro.tuning.probe import MachineProbe, probe_machine
+    from repro.tuning.profile import MachineProfile, load_profile_knobs
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.tuning' has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

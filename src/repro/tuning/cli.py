@@ -1,0 +1,162 @@
+"""``repro-experiments tune`` — run the autotuner, write a machine profile.
+
+Usage::
+
+    repro-experiments tune serving --out profile.json --budget-s 60
+    repro-experiments tune cluster --out profile.json
+    repro-experiments tune training --out profile.json --reps 2
+    repro-experiments tune serving --journal tune.journal.json --resume
+
+Each invocation probes the machine, enumerates the subsystem's candidate
+configurations from the knob registry, ranks them with the analytic cost
+model, validates the top-k (plus the built-in default, always) by real
+measurement, and writes the winner into ``--out`` as a checksummed
+machine profile. Tuning another subsystem into the same ``--out`` file
+merges: existing subsystem blocks are preserved.
+
+A killed tune resumes: measurements stream into ``--journal`` through
+atomic rewrites, and ``--resume`` reuses them (and the journaled probe),
+producing a profile identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.exceptions import TuningError
+from repro.logging_utils import get_logger
+from repro.tuning.defaults import SUBSYSTEMS
+
+logger = get_logger("tuning.cli")
+
+
+def add_tune_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "target",
+        choices=SUBSYSTEMS,
+        help="subsystem to tune (which knob spaces are searched)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("profile.json"),
+        help="machine-profile file to write (default: profile.json); "
+        "an existing profile's other subsystem blocks are preserved",
+    )
+    parser.add_argument(
+        "--budget-s",
+        type=float,
+        default=60.0,
+        help="wall-clock budget of the measured-validation loop "
+        "(default: 60); the default config is always measured",
+    )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=5,
+        help="cost-model-ranked candidates to validate by real "
+        "measurement (default: 5)",
+    )
+    parser.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help="resumable measurement journal (default: <out>.tune-<target>"
+        ".journal.json)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse journaled probe/measurements from a killed tune; the "
+        "final profile is identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="seed of the synthetic tuning workload (default: 7)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        help="measurement repetitions per candidate, best rep kept "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log progress to stderr"
+    )
+
+
+def run_tune(args: argparse.Namespace) -> int:
+    from repro.logging_utils import enable_console_logging
+    from repro.tuning.autotune import AutoTuner
+    from repro.tuning.measure import ServingWorkload, TrainingWorkload
+    from repro.tuning.profile import MachineProfile
+
+    if args.verbose:
+        enable_console_logging()
+    if args.top_k < 1:
+        print(f"error: --top-k must be >= 1, got {args.top_k}")
+        return 2
+    if args.budget_s <= 0:
+        print(f"error: --budget-s must be positive, got {args.budget_s}")
+        return 2
+    journal_path = args.journal or args.out.with_name(
+        f"{args.out.name}.tune-{args.target}.journal.json"
+    )
+    if args.target == "training":
+        workload = TrainingWorkload.quick(seed=args.seed)
+    else:
+        workload = ServingWorkload.quick(seed=args.seed)
+    tuner = AutoTuner(
+        subsystem=args.target,
+        workload=workload,
+        budget_s=args.budget_s,
+        top_k=args.top_k,
+        journal_path=journal_path,
+        resume=args.resume,
+        reps=args.reps,
+    )
+    try:
+        profile = tuner.run()
+    except TuningError as exc:
+        print(f"error: {exc}")
+        return 2
+    # Merge into an existing profile so serving + training tunes can
+    # share one file; the machine block is refreshed to this run's probe.
+    if args.out.exists():
+        try:
+            existing = MachineProfile.load(args.out)
+        except TuningError as exc:
+            logger.warning(
+                "overwriting unreadable profile at %s: %s", args.out, exc
+            )
+        else:
+            for subsystem, block in existing.subsystems.items():
+                if subsystem != args.target:
+                    profile.subsystems[subsystem] = block
+    path = profile.save(args.out)
+    chosen = profile.knobs_for(args.target)
+    validation = profile.validation_for(args.target)
+    print(f"tuned {args.target}: wrote {path}")
+    print(
+        "  chosen: "
+        + " ".join(f"{name}={chosen[name]}" for name in sorted(chosen))
+    )
+    if validation:
+        print(
+            "  measured: "
+            + " ".join(
+                f"{name}={validation[name]}" for name in sorted(validation)
+            )
+        )
+    print(
+        f"  searched {tuner.n_candidates} candidate(s), validated "
+        f"{len(tuner.results)} ({tuner.n_reused} journaled)"
+    )
+    return 0
+
+
+__all__ = ["add_tune_arguments", "run_tune"]

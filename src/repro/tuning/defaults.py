@@ -1,0 +1,347 @@
+"""The knob registry: every tunable serving/cluster/training constant.
+
+Before this module, every hot-path knob — micro/in-flight ``max_batch``,
+``max_wait_ms``, ``check_interval``, ``max_inflight_rows``,
+``admission_wait_ms``, LRU ``capacity``, arena store kind,
+``fit_workers``, SGD block size — was a hand-picked literal scattered
+across :class:`~repro.serving.service.ServiceConfig`, the CLIs, and the
+training entry points, each tuned on one machine. The registry declares
+each knob **once**: its type, valid range (or choice set), built-in
+default, which subsystem consumes it, and the candidate values the
+autotuner searches. Everything else derives from here:
+
+* :class:`~repro.serving.service.ServiceConfig` field defaults,
+* ``repro-serve`` / ``repro-experiments`` argparse defaults and help,
+* the autotuner's candidate spaces
+  (:mod:`repro.tuning.autotune`),
+* machine-profile validation (:mod:`repro.tuning.profile`),
+* the DESIGN.md knob table.
+
+:func:`resolve` implements the startup precedence contract —
+**CLI > profile > built-in default** — returning, for every knob, both
+the value and where it came from, so servers can log the provenance of
+each resolved knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import TuningError
+
+#: Subsystems the registry partitions knobs into.
+SUBSYSTEMS = ("serving", "cluster", "training")
+
+#: Where a resolved knob value came from, in precedence order.
+SOURCES = ("cli", "profile", "default")
+
+#: CLI-facing store kinds (mirrors ``repro.store.STORE_KINDS`` without
+#: importing the store package — the registry must stay import-light so
+#: ``ServiceConfig`` can pull defaults from it at class-definition time).
+STORE_CHOICES = ("dict", "arena", "arena-mmap")
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One registered knob: type, range, default, consumer, search space.
+
+    Attributes
+    ----------
+    name / subsystem:
+        Identity; ``(subsystem, name)`` is unique.
+    default:
+        The built-in value used when neither CLI nor profile names one.
+    kind:
+        ``int``, ``float``, or ``str``.
+    lo / hi:
+        Inclusive numeric bounds (numeric kinds only).
+    choices:
+        Allowed values (string kinds only).
+    search:
+        Candidate values the autotuner enumerates for this knob; empty
+        for knobs tuned indirectly (or not at all).
+    consumer:
+        Dotted path of the class/function that reads the value — kept
+        accurate so DESIGN.md's knob table never drifts from the code.
+    help:
+        One-line description (also used as argparse help).
+    """
+
+    name: str
+    subsystem: str
+    default: object
+    kind: type = int
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    choices: Optional[Tuple[str, ...]] = None
+    search: Tuple = ()
+    consumer: str = ""
+    help: str = ""
+
+    def validate(self, value: object) -> object:
+        """Coerce ``value`` to the knob's type and check its range.
+
+        Raises :class:`TuningError` with the offending knob named, so a
+        profile carrying a bad value fails loudly at load time.
+        """
+        try:
+            if self.kind is int:
+                if isinstance(value, bool) or (
+                    isinstance(value, float) and not float(value).is_integer()
+                ):
+                    raise ValueError(f"not an integer: {value!r}")
+                coerced: object = int(value)  # type: ignore[arg-type]
+            elif self.kind is float:
+                coerced = float(value)  # type: ignore[arg-type]
+            else:
+                if not isinstance(value, str):
+                    raise ValueError(f"not a string: {value!r}")
+                coerced = value
+        except (TypeError, ValueError) as exc:
+            raise TuningError(
+                f"knob {self.subsystem}.{self.name} expects {self.kind.__name__}, "
+                f"got {value!r}"
+            ) from exc
+        if self.choices is not None and coerced not in self.choices:
+            raise TuningError(
+                f"knob {self.subsystem}.{self.name} must be one of "
+                f"{self.choices}, got {coerced!r}"
+            )
+        if self.lo is not None and coerced < self.lo:  # type: ignore[operator]
+            raise TuningError(
+                f"knob {self.subsystem}.{self.name} must be >= {self.lo}, "
+                f"got {coerced!r}"
+            )
+        if self.hi is not None and coerced > self.hi:  # type: ignore[operator]
+            raise TuningError(
+                f"knob {self.subsystem}.{self.name} must be <= {self.hi}, "
+                f"got {coerced!r}"
+            )
+        return coerced
+
+    def alternative(self) -> object:
+        """A valid value different from the default (for tests/examples)."""
+        for value in self.search:
+            if value != self.default:
+                return value
+        if self.choices is not None:
+            for value in self.choices:
+                if value != self.default:
+                    return value
+        if self.kind is int:
+            step = 1
+            candidate = int(self.default) + step  # type: ignore[arg-type]
+            if self.hi is not None and candidate > self.hi:
+                candidate = int(self.default) - step  # type: ignore[arg-type]
+            return candidate
+        if self.kind is float:
+            candidate = float(self.default) + 1.0  # type: ignore[arg-type]
+            if self.hi is not None and candidate > self.hi:
+                candidate = float(self.default) / 2.0  # type: ignore[arg-type]
+            return candidate
+        raise TuningError(
+            f"knob {self.subsystem}.{self.name} has no alternative value"
+        )
+
+
+def _build_registry() -> Dict[str, Dict[str, Knob]]:
+    scoring = [
+        Knob(
+            "batching", "serving", "inflight", str,
+            choices=("inflight", "microbatch"),
+            search=("inflight", "microbatch"),
+            consumer="repro.serving.service.ServiceConfig",
+            help="scoring loop: continuously fed packed batch (inflight) "
+            "or drain-then-refill micro-batches (microbatch); answers are "
+            "bit-identical either way",
+        ),
+        Knob(
+            "max_batch", "serving", 64, int, lo=1, hi=4096,
+            search=(16, 64, 256),
+            consumer="repro.serving.service.ServiceConfig",
+            help="micro-batch mode: max requests coalesced into one "
+            "scoring batch",
+        ),
+        Knob(
+            "max_wait_ms", "serving", 2.0, float, lo=0.0, hi=100.0,
+            search=(0.5, 2.0, 10.0),
+            consumer="repro.serving.service.ServiceConfig",
+            help="micro-batch mode: how long a batch waits for stragglers",
+        ),
+        Knob(
+            "check_interval", "serving", 16, int, lo=1, hi=4096,
+            search=(4, 16, 64),
+            consumer="repro.serving.service.ServiceConfig",
+            help="in-flight mode: max queries scored per model call — the "
+            "kernel-boundary granularity at which requests admit and retire",
+        ),
+        Knob(
+            "max_inflight_rows", "serving", 32768, int, lo=1, hi=1 << 22,
+            search=(4096, 32768, 131072),
+            consumer="repro.serving.service.ServiceConfig",
+            help="in-flight mode: admission-control bound on packed "
+            "candidate rows; requests beyond it wait in the overflow queue",
+        ),
+        Knob(
+            "admission_wait_ms", "serving", 0.0, float, lo=0.0, hi=100.0,
+            search=(0.0, 1.0),
+            consumer="repro.serving.service.ServiceConfig",
+            help="in-flight mode: optional growth-gated coalescing wait at "
+            "the start of a busy period (0 = admit and score immediately)",
+        ),
+        Knob(
+            "capacity", "serving", 1024, int, lo=1, hi=1 << 24,
+            search=(1024,),
+            consumer="repro.serving.state.SessionStore",
+            help="max resident live sessions before LRU eviction",
+        ),
+        Knob(
+            "store", "serving", "arena", str, choices=STORE_CHOICES,
+            search=("arena", "dict"),
+            consumer="repro.store.make_history_store",
+            help="session history backing: columnar arena (default), "
+            "memory-mapped arena, or per-user Python lists; answers are "
+            "bit-identical either way",
+        ),
+    ]
+    # The cluster shards run the same scoring loop per worker; its knob
+    # set is the in-flight subset plus per-shard capacity/store (the
+    # cluster CLI exposes no micro-batch sizing knobs).
+    cluster = [
+        Knob(
+            knob.name, "cluster", knob.default, knob.kind,
+            lo=knob.lo, hi=knob.hi, choices=knob.choices,
+            search=knob.search, consumer=knob.consumer, help=knob.help,
+        )
+        for knob in scoring
+        if knob.name not in ("max_batch", "max_wait_ms")
+    ]
+    training = [
+        Knob(
+            "fit_workers", "training", 1, int, lo=1, hi=256,
+            search=(1, 2, 4, 8),
+            consumer="repro.models.base.Recommender.fit",
+            help="worker processes for the parallel feature-cache build; "
+            "learned parameters are bit-identical at any worker count",
+        ),
+        Knob(
+            "sgd_block", "training", 0, int, lo=0, hi=1 << 20,
+            search=(0, 512, 4096, 32768),
+            consumer="repro.optim.sgd.run_sgd",
+            help="cap on updates per block-SGD kernel call (0 = one whole "
+            "check interval per kernel); results are bit-identical at any "
+            "block size",
+        ),
+    ]
+    registry: Dict[str, Dict[str, Knob]] = {name: {} for name in SUBSYSTEMS}
+    for knob in scoring + cluster + training:
+        registry[knob.subsystem][knob.name] = knob
+    return registry
+
+
+#: ``subsystem -> name -> Knob``; the one declaration of every knob.
+KNOBS: Dict[str, Dict[str, Knob]] = _build_registry()
+
+
+def knobs_for(subsystem: str) -> Dict[str, Knob]:
+    """Every registered knob of one subsystem (name-keyed)."""
+    if subsystem not in KNOBS:
+        raise TuningError(
+            f"unknown subsystem {subsystem!r}; expected one of {SUBSYSTEMS}"
+        )
+    return dict(KNOBS[subsystem])
+
+
+def knob(subsystem: str, name: str) -> Knob:
+    """Look one knob up, or raise :class:`TuningError`."""
+    registry = knobs_for(subsystem)
+    if name not in registry:
+        raise TuningError(
+            f"unknown knob {name!r} for subsystem {subsystem!r}; "
+            f"registered: {sorted(registry)}"
+        )
+    return registry[name]
+
+
+def default_of(subsystem: str, name: str) -> object:
+    """The built-in default of one knob."""
+    return knob(subsystem, name).default
+
+
+def defaults_for(subsystem: str) -> Dict[str, object]:
+    """``name -> built-in default`` for one subsystem."""
+    return {name: k.default for name, k in knobs_for(subsystem).items()}
+
+
+@dataclass(frozen=True)
+class ResolvedKnob:
+    """One knob after precedence resolution: the value and its source."""
+
+    name: str
+    value: object
+    source: str  # one of SOURCES
+
+
+def resolve(
+    subsystem: str,
+    cli: Optional[Mapping[str, object]] = None,
+    profile: Optional[Mapping[str, object]] = None,
+) -> Dict[str, ResolvedKnob]:
+    """Resolve every knob of ``subsystem`` with CLI > profile > default.
+
+    ``cli`` holds only the knobs the user *explicitly* set (absent or
+    ``None`` entries fall through to the profile); ``profile`` holds the
+    subsystem's knob dict from a loaded machine profile. Every value is
+    validated against the registry — an unknown knob name or an
+    out-of-range value raises :class:`TuningError` naming the offender,
+    whichever layer it came from.
+    """
+    registry = knobs_for(subsystem)
+    for layer_name, layer in (("cli", cli), ("profile", profile)):
+        for name in layer or ():
+            if name not in registry:
+                raise TuningError(
+                    f"unknown knob {name!r} in {layer_name} overrides for "
+                    f"subsystem {subsystem!r}; registered: {sorted(registry)}"
+                )
+    resolved: Dict[str, ResolvedKnob] = {}
+    for name, entry in sorted(registry.items()):
+        if cli is not None and cli.get(name) is not None:
+            value, source = cli[name], "cli"
+        elif profile is not None and profile.get(name) is not None:
+            value, source = profile[name], "profile"
+        else:
+            value, source = entry.default, "default"
+        resolved[name] = ResolvedKnob(name, entry.validate(value), source)
+    return resolved
+
+
+def values_of(resolved: Mapping[str, ResolvedKnob]) -> Dict[str, object]:
+    """Flatten a resolution to ``name -> value``."""
+    return {name: knob.value for name, knob in resolved.items()}
+
+
+def describe(resolved: Mapping[str, ResolvedKnob]) -> str:
+    """One log line naming every resolved knob and its provenance."""
+    return " ".join(
+        f"{name}={entry.value}({entry.source})"
+        for name, entry in sorted(resolved.items())
+    )
+
+
+__all__ = [
+    "KNOBS",
+    "Knob",
+    "ResolvedKnob",
+    "SOURCES",
+    "STORE_CHOICES",
+    "SUBSYSTEMS",
+    "default_of",
+    "defaults_for",
+    "describe",
+    "knob",
+    "knobs_for",
+    "resolve",
+    "values_of",
+]

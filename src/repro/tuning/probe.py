@@ -1,0 +1,291 @@
+"""Quick micro-probes of the machine feeding the analytic cost model.
+
+A tune run starts by measuring a handful of hardware facts in a few
+seconds — never minutes — because the cost model only needs *relative*
+constants to rank thousands of candidate configurations before the
+expensive measured validation of the top few:
+
+* **kernel µs/row** at several batch sizes — one ``recommend_batch``
+  timing sweep fit to ``time = overhead + us_per_row * rows`` by least
+  squares, capturing both the per-call overhead (which penalizes tiny
+  ``check_interval``) and the marginal row cost;
+* **bytes/user** for every history-store kind (dict vs arena vs
+  mmap-backed arena) via :func:`repro.store.store_memory_profile`,
+  which prices the LRU ``capacity`` × ``store`` memory trade;
+* **fork/worker startup cost** — one fork-pool spawn + roundtrip,
+  pricing ``fit_workers`` against the parallel cache build's payoff;
+* core count and available memory, bounding worker counts and the
+  memory budget.
+
+The probe result is a plain dataclass that serializes into the machine
+profile, so a profile records *why* its knobs were chosen.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TuningError
+from repro.logging_utils import get_logger
+
+logger = get_logger("tuning.probe")
+
+#: Query counts of the kernel timing sweep.
+PROBE_BATCH_SIZES = (1, 4, 16, 64)
+
+#: Users × events of the bytes-per-user probe population.
+PROBE_STORE_USERS = 256
+PROBE_STORE_EVENTS = 96
+
+
+@dataclass(frozen=True)
+class MachineProbe:
+    """Measured hardware facts of one machine (profile ``machine`` block).
+
+    Attributes
+    ----------
+    cpu_count:
+        Cores visible to the process.
+    kernel_overhead_us / kernel_us_per_row:
+        Least-squares fit of the scoring-kernel sweep:
+        ``call time (µs) = overhead + us_per_row * candidate rows``.
+    probe_batch_sizes / probe_kernel_us:
+        The raw sweep (query counts and measured µs per call) the fit
+        came from, kept for auditability.
+    probe_candidate_width:
+        Mean candidates per query during the sweep (the ``rows`` unit).
+    bytes_per_user:
+        Resident bytes per active user for each history-store kind.
+    fork_startup_ms:
+        One fork-pool worker spawn + roundtrip; 0.0 when the platform
+        has no fork start method.
+    mem_available_bytes:
+        ``MemAvailable`` from ``/proc/meminfo`` (0 when unreadable).
+    probe_s:
+        Wall-clock the whole probe took.
+    """
+
+    cpu_count: int
+    kernel_overhead_us: float
+    kernel_us_per_row: float
+    probe_batch_sizes: Tuple[int, ...]
+    probe_kernel_us: Tuple[float, ...]
+    probe_candidate_width: float
+    bytes_per_user: Dict[str, float] = field(default_factory=dict)
+    fork_startup_ms: float = 0.0
+    mem_available_bytes: float = 0.0
+    probe_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["probe_batch_sizes"] = list(self.probe_batch_sizes)
+        payload["probe_kernel_us"] = list(self.probe_kernel_us)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MachineProbe":
+        try:
+            return cls(
+                cpu_count=int(payload["cpu_count"]),  # type: ignore[arg-type]
+                kernel_overhead_us=float(payload["kernel_overhead_us"]),  # type: ignore[arg-type]
+                kernel_us_per_row=float(payload["kernel_us_per_row"]),  # type: ignore[arg-type]
+                probe_batch_sizes=tuple(
+                    int(v) for v in payload.get("probe_batch_sizes", ())  # type: ignore[union-attr]
+                ),
+                probe_kernel_us=tuple(
+                    float(v) for v in payload.get("probe_kernel_us", ())  # type: ignore[union-attr]
+                ),
+                probe_candidate_width=float(
+                    payload.get("probe_candidate_width", 1.0)  # type: ignore[arg-type]
+                ),
+                bytes_per_user={
+                    str(k): float(v)
+                    for k, v in dict(payload.get("bytes_per_user", {})).items()  # type: ignore[arg-type]
+                },
+                fork_startup_ms=float(payload.get("fork_startup_ms", 0.0)),  # type: ignore[arg-type]
+                mem_available_bytes=float(
+                    payload.get("mem_available_bytes", 0.0)  # type: ignore[arg-type]
+                ),
+                probe_s=float(payload.get("probe_s", 0.0)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TuningError(f"malformed machine-probe payload: {exc}") from exc
+
+
+def _mem_available_bytes() -> float:
+    """``MemAvailable`` in bytes from /proc/meminfo, 0 where unreadable."""
+    try:
+        with open("/proc/meminfo", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return float(line.split()[1]) * 1024.0
+    except OSError:
+        pass
+    return 0.0
+
+
+def _probe_fork_startup_ms() -> float:
+    """Spawn one fork-pool worker, run a trivial task, tear it down."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return 0.0
+    context = multiprocessing.get_context("fork")
+    start = time.perf_counter()
+    with context.Pool(processes=1) as pool:
+        pool.apply(os.getpid)
+    return (time.perf_counter() - start) * 1e3
+
+
+def _probe_stores() -> Dict[str, float]:
+    """Bytes per active user for each history-store kind."""
+    import tempfile
+
+    from repro.store import STORE_KINDS, make_history_store, store_memory_profile
+
+    rng = np.random.default_rng(20)
+    histories = [
+        rng.integers(0, 512, size=PROBE_STORE_EVENTS).tolist()
+        for _ in range(PROBE_STORE_USERS)
+    ]
+    bytes_per_user: Dict[str, float] = {}
+    for kind in STORE_KINDS:
+        directory = (
+            tempfile.mkdtemp(prefix="repro-probe-arena-")
+            if kind == "arena-mmap"
+            else None
+        )
+        store = make_history_store(histories, kind=kind, directory=directory)
+        profile = store_memory_profile(store, range(PROBE_STORE_USERS))
+        bytes_per_user[kind] = round(profile["bytes_per_user"], 1)
+    return bytes_per_user
+
+
+def _probe_kernel(model, split, window, repeats: int = 3):
+    """Time ``recommend_batch`` at several query counts; fit a line.
+
+    Returns ``(overhead_us, us_per_row, per_call_us, width)`` where
+    ``width`` is the mean candidate count per query (rows = queries ×
+    width) and ``per_call_us`` is the median measured time per sweep
+    point.
+    """
+    from repro.engine.query import Query
+
+    # The longest training prefix gives the widest realistic candidate
+    # sets; queries walk backwards from its end like live traffic.
+    user = max(
+        range(split.n_users), key=lambda u: split.train_boundary(u)
+    )
+    sequence = split.train_sequence(user)
+    t_max = len(sequence)
+    candidates_pool = sorted(set(sequence.items.tolist()))
+    if not candidates_pool:
+        raise TuningError("kernel probe needs a non-empty training prefix")
+    width = max(1, len(candidates_pool))
+    per_call_us = []
+    for n_queries in PROBE_BATCH_SIZES:
+        queries = [
+            Query(
+                t=max(1, t_max - 1 - (i % max(1, t_max - 1))),
+                candidates=list(candidates_pool),
+            )
+            for i in range(n_queries)
+        ]
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            model.recommend_batch(sequence, queries, 10)
+            timings.append((time.perf_counter() - start) * 1e6)
+        per_call_us.append(float(np.median(timings)))
+    rows = np.asarray(PROBE_BATCH_SIZES, dtype=np.float64) * width
+    design = np.stack([np.ones_like(rows), rows], axis=1)
+    coeffs, *_ = np.linalg.lstsq(
+        design, np.asarray(per_call_us, dtype=np.float64), rcond=None
+    )
+    overhead_us = max(float(coeffs[0]), 0.0)
+    us_per_row = max(float(coeffs[1]), 1e-4)
+    return overhead_us, us_per_row, per_call_us, float(width)
+
+
+def _quick_split(seed: int):
+    """A tiny synthetic split for self-contained probes."""
+    from repro.data.split import temporal_split
+    from repro.synth.base import SyntheticConfig, generate_dataset
+
+    config = SyntheticConfig(
+        name="probe",
+        n_users=4,
+        n_items=600,
+        sequence_length_range=(260, 320),
+        catalog_size_range=(60, 90),
+        zipf_exponent=0.8,
+        p_explore_range=(0.2, 0.3),
+        memory_span=80,
+        frequency_exponent=0.05,
+        recency_exponent=0.05,
+        explore_weight_exponent=0.0,
+    )
+    return temporal_split(generate_dataset(config, seed))
+
+
+def probe_machine(
+    model=None,
+    split=None,
+    window=None,
+    seed: int = 7,
+    include_stores: bool = True,
+    include_fork: bool = True,
+) -> MachineProbe:
+    """Measure the machine facts the cost model needs (a few seconds).
+
+    ``model``/``split`` default to a Recency recommender over a tiny
+    synthetic split; pass the real serving model and split (as the
+    autotune bench does) to calibrate the kernel constants on the exact
+    workload being tuned.
+    """
+    from repro.config import WindowConfig
+    from repro.models.recency import RecencyRecommender
+
+    start = time.perf_counter()
+    if split is None:
+        split = _quick_split(seed)
+    if model is None:
+        model = RecencyRecommender().fit(split)
+    window = window or WindowConfig()
+    overhead_us, us_per_row, per_call_us, width = _probe_kernel(
+        model, split, window
+    )
+    probe = MachineProbe(
+        cpu_count=os.cpu_count() or 1,
+        kernel_overhead_us=round(overhead_us, 2),
+        kernel_us_per_row=round(us_per_row, 4),
+        probe_batch_sizes=tuple(PROBE_BATCH_SIZES),
+        probe_kernel_us=tuple(round(v, 1) for v in per_call_us),
+        probe_candidate_width=round(width, 1),
+        bytes_per_user=_probe_stores() if include_stores else {},
+        fork_startup_ms=(
+            round(_probe_fork_startup_ms(), 2) if include_fork else 0.0
+        ),
+        mem_available_bytes=_mem_available_bytes(),
+        probe_s=round(time.perf_counter() - start, 3),
+    )
+    logger.info(
+        "machine probe: %d core(s), kernel %.1fus + %.3fus/row, "
+        "fork %.1fms, %s",
+        probe.cpu_count, probe.kernel_overhead_us, probe.kernel_us_per_row,
+        probe.fork_startup_ms,
+        {k: f"{v:.0f}B/user" for k, v in probe.bytes_per_user.items()},
+    )
+    return probe
+
+
+__all__ = [
+    "MachineProbe",
+    "PROBE_BATCH_SIZES",
+    "probe_machine",
+]

@@ -1,0 +1,181 @@
+"""The serving-tail regression checker: exit codes and baseline updates.
+
+``benchmarks/check_serving_regression.py`` gates CI, so its failure
+modes are part of the contract: exit 2 means the *fresh* measurement is
+unusable (the bench didn't run or its schema drifted — fix the bench),
+exit 1 means a real regression against the committed baseline, and a
+missing/unusable *baseline* passes with a message (the first run that
+records a metric cannot regress). ``--update-baseline`` normalizes the
+fresh file in place and exits 0.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_CHECKER = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_serving_regression.py"
+)
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_serving_regression", _CHECKER
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+def _bench_payload(p99_ms: float) -> dict:
+    return {
+        "results": {
+            checker.METRIC_KEY: {checker.FIELD: p99_ms, "p50_ms": 1.0}
+        }
+    }
+
+
+@pytest.fixture()
+def bench_repo(tmp_path):
+    """A tiny git repo with a committed baseline bench file."""
+    (tmp_path / "benchmarks").mkdir()
+    bench_file = tmp_path / "benchmarks" / "BENCH_serving.json"
+    bench_file.write_text(json.dumps(_bench_payload(10.0)))
+    env_args = dict(cwd=tmp_path, check=True, capture_output=True)
+    subprocess.run(["git", "init", "-q"], **env_args)
+    subprocess.run(["git", "add", "-A"], **env_args)
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+         "commit", "-q", "-m", "baseline"],
+        **env_args,
+    )
+    return bench_file
+
+
+class TestFreshFileProblems:
+    """Exit 2: the bench did not run or produced garbage."""
+
+    def test_missing_fresh_file(self, tmp_path, capsys) -> None:
+        missing = tmp_path / "BENCH_serving.json"
+        assert checker.main(["--bench-file", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "missing" in err
+        assert "run the serving bench" in err
+
+    def test_malformed_fresh_file(self, tmp_path, capsys) -> None:
+        bench = tmp_path / "BENCH_serving.json"
+        bench.write_text("{torn mid-write")
+        assert checker.main(["--bench-file", str(bench)]) == 2
+        assert "not readable JSON" in capsys.readouterr().err
+
+    def test_non_object_fresh_file(self, tmp_path, capsys) -> None:
+        bench = tmp_path / "BENCH_serving.json"
+        bench.write_text("[1, 2]")
+        assert checker.main(["--bench-file", str(bench)]) == 2
+        assert "expected an object" in capsys.readouterr().err
+
+    def test_schema_mismatch_fresh_file(self, tmp_path, capsys) -> None:
+        bench = tmp_path / "BENCH_serving.json"
+        bench.write_text(json.dumps({"results": {"other_metric": {}}}))
+        assert checker.main(["--bench-file", str(bench)]) == 2
+        assert "schema mismatch" in capsys.readouterr().err
+
+
+class TestBaselineProblems:
+    """Exit 0 with a message: nothing to regress against."""
+
+    def test_no_committed_baseline_passes(self, tmp_path, capsys) -> None:
+        (tmp_path / "benchmarks").mkdir()
+        bench = tmp_path / "benchmarks" / "BENCH_serving.json"
+        bench.write_text(json.dumps(_bench_payload(5.0)))
+        assert checker.main(["--bench-file", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "no committed" in out
+        assert "passing" in out
+
+    def test_baseline_schema_mismatch_passes(self, bench_repo, capsys) -> None:
+        # Rewrite history so the committed copy lacks the metric.
+        bench_repo.write_text(json.dumps({"results": {}}))
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-aqm", "drop metric"],
+            cwd=bench_repo.parent.parent, check=True, capture_output=True,
+        )
+        bench_repo.write_text(json.dumps(_bench_payload(5.0)))
+        assert checker.main(["--bench-file", str(bench_repo)]) == 0
+        assert "schema mismatch" in capsys.readouterr().out
+
+
+class TestVerdicts:
+    def test_within_tolerance_passes(self, bench_repo, capsys) -> None:
+        bench_repo.write_text(json.dumps(_bench_payload(11.0)))
+        assert checker.main(["--bench-file", str(bench_repo)]) == 0
+        assert "[ok]" in capsys.readouterr().out
+
+    def test_regression_fails_with_accept_hint(
+        self, bench_repo, capsys
+    ) -> None:
+        bench_repo.write_text(json.dumps(_bench_payload(25.0)))
+        assert checker.main(["--bench-file", str(bench_repo)]) == 1
+        captured = capsys.readouterr()
+        assert "[REGRESSION]" in captured.out
+        assert "25.000" in captured.out and "10.000" in captured.out
+        assert "--update-baseline" in captured.err
+
+    def test_tolerance_is_configurable(self, bench_repo, capsys) -> None:
+        bench_repo.write_text(json.dumps(_bench_payload(25.0)))
+        code = checker.main(
+            ["--bench-file", str(bench_repo), "--tolerance", "3.0"]
+        )
+        assert code == 0
+        assert "[ok]" in capsys.readouterr().out
+
+
+class TestUpdateBaseline:
+    def test_normalizes_in_place_and_exits_zero(
+        self, tmp_path, capsys
+    ) -> None:
+        bench = tmp_path / "BENCH_serving.json"
+        payload = {"results": {checker.METRIC_KEY: {checker.FIELD: 7.5}}}
+        bench.write_text(json.dumps(payload))  # compact, unsorted
+        code = checker.main(
+            ["--bench-file", str(bench), "--update-baseline"]
+        )
+        assert code == 0
+        assert "baseline updated" in capsys.readouterr().out
+        text = bench.read_text()
+        assert json.loads(text) == payload
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def test_update_requires_usable_fresh_file(
+        self, tmp_path, capsys
+    ) -> None:
+        bench = tmp_path / "BENCH_serving.json"
+        bench.write_text(json.dumps({"results": {}}))
+        code = checker.main(
+            ["--bench-file", str(bench), "--update-baseline"]
+        )
+        assert code == 2
+
+
+def test_checker_runs_as_a_script(bench_repo) -> None:
+    """The CI entry point (python benchmarks/...) works end to end."""
+    bench_repo.write_text(json.dumps(_bench_payload(10.5)))
+    done = subprocess.run(
+        [sys.executable, str(_CHECKER), "--bench-file", str(bench_repo)],
+        capture_output=True, text=True,
+    )
+    assert done.returncode == 0, done.stderr
+    assert "[ok]" in done.stdout

@@ -17,30 +17,43 @@ from repro.models.recency import RecencyRecommender
 from repro.serving.cli import (
     DATASET_CHOICES,
     MODEL_CHOICES,
+    SERVE_KNOB_ARGS,
     build_model,
     build_parser,
     build_split,
     main,
+    resolve_knob_args,
 )
 from repro.serving.events import EventLog
 from repro.serving.service import ServiceConfig, service_for_split
+from repro.tuning.defaults import values_of
 
 
 class TestParser:
     def test_serve_defaults(self) -> None:
+        # Knob flags parse to None sentinels ("not explicitly set") so
+        # profile values are only overridden by flags the user typed;
+        # resolution then fills in the registry defaults.
         args = build_parser().parse_args(["serve"])
         assert args.command == "serve"
         assert args.model == "recency"
         assert args.dataset == "gowalla"
         assert args.port == 8423
-        assert args.capacity == 1024
-        assert args.max_batch == 64
-        assert args.batching == "inflight"
-        assert args.check_interval == 16
-        assert args.max_inflight_rows == 32768
-        assert args.admission_wait_ms == 0.0
+        for name in SERVE_KNOB_ARGS:
+            assert getattr(args, name) is None
+        assert args.profile is None
         assert args.event_log is None
         assert args.deadline_ms is None
+        resolved = resolve_knob_args(args, "serving", SERVE_KNOB_ARGS)
+        values = values_of(resolved)
+        assert values["capacity"] == 1024
+        assert values["max_batch"] == 64
+        assert values["batching"] == "inflight"
+        assert values["check_interval"] == 16
+        assert values["max_inflight_rows"] == 32768
+        assert values["admission_wait_ms"] == 0.0
+        assert values["store"] == "arena"
+        assert all(entry.source == "default" for entry in resolved.values())
 
     def test_serve_overrides(self, tmp_path) -> None:
         args = build_parser().parse_args(
