@@ -12,7 +12,6 @@ Item frequency over a dataset is the basis of the *item quality* feature
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -21,9 +20,6 @@ import numpy as np
 from repro.data.sequence import ConsumptionSequence
 from repro.data.vocab import Vocabulary
 from repro.exceptions import DataError
-
-#: One-time guard for the ``Dataset.sequences`` deprecation warning.
-_SEQUENCES_DEPRECATION_WARNED = False
 
 
 @dataclass(frozen=True)
@@ -112,28 +108,6 @@ class Dataset:
     @property
     def n_items(self) -> int:
         return len(self.item_vocab)
-
-    @property
-    def sequences(self) -> List[ConsumptionSequence]:
-        """Deprecated: a fresh mutable list of every sequence.
-
-        Handing out an ad-hoc Python list invites exactly the divergent
-        history representations the :class:`~repro.store.base.HistoryStore`
-        API replaces. Iterate the dataset, call :meth:`sequence`, or take
-        a :meth:`history_store` view instead. Kept (warning once) for one
-        release, mirroring the ``score`` → ``score_batch`` transition.
-        """
-        global _SEQUENCES_DEPRECATION_WARNED
-        if not _SEQUENCES_DEPRECATION_WARNED:
-            _SEQUENCES_DEPRECATION_WARNED = True
-            warnings.warn(
-                "Dataset.sequences (an ad-hoc mutable list of histories) is "
-                "deprecated; iterate the dataset, use Dataset.sequence(user), "
-                "or build a Dataset.history_store() view.",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return list(self._sequences)
 
     def history_store(self, kind: str = "arena", directory: Optional[str] = None):
         """This dataset's histories behind the ``HistoryStore`` protocol.

@@ -31,7 +31,7 @@ from repro.engine.session import (
     fingerprint_history,
     fingerprint_state,
 )
-from repro.engine.features import SessionFeatureMatrix
+from repro.engine.features import SessionFeatureMatrix, fast_fillers
 from repro.engine.packed import PackedCandidateBatch
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "Query",
     "ScoringSession",
     "SessionFeatureMatrix",
+    "fast_fillers",
     "fingerprint_history",
     "fingerprint_state",
     "iter_queries_in_order",

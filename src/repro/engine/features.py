@@ -28,7 +28,7 @@ feature against :meth:`BehavioralFeatureModel.matrix`.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -137,7 +137,7 @@ def _fallback_filler(extractor: FeatureExtractor) -> ColumnFiller:
     return fill
 
 
-def _filler_for(extractor: FeatureExtractor) -> ColumnFiller:
+def _fast_filler_for(extractor: FeatureExtractor) -> Optional[ColumnFiller]:
     if isinstance(extractor, (ItemQualityFeature, ReconsumptionRatioFeature)):
         return _table_filler(extractor.table)
     if isinstance(extractor, RecencyFeature):
@@ -146,7 +146,36 @@ def _filler_for(extractor: FeatureExtractor) -> ColumnFiller:
         return _exponential_recency_filler
     if isinstance(extractor, DynamicFamiliarityFeature):
         return _familiarity_filler
+    return None
+
+
+def _filler_for(extractor: FeatureExtractor) -> ColumnFiller:
+    fast = _fast_filler_for(extractor)
+    if fast is not None:
+        return fast
     return _fallback_filler(extractor)
+
+
+def fast_fillers(
+    feature_model: BehavioralFeatureModel,
+) -> Optional[List[ColumnFiller]]:
+    """Column fillers when *every* extractor has a vectorized fast path.
+
+    Returns ``None`` as soon as one extractor would need the scalar
+    fallback (custom registered features) — the fallback reads
+    ``window_view()``/``.sequence``, which only :class:`ScoringSession`
+    provides, so callers holding other session flavours (the serving
+    stores) must keep the generic matrix path for those models. The
+    online ISGD capture uses this to price a two-row feature diff in
+    microseconds instead of a generic matrix build.
+    """
+    fillers: List[ColumnFiller] = []
+    for name in feature_model.feature_names:
+        fast = _fast_filler_for(feature_model.extractor(name))
+        if fast is None:
+            return None
+        fillers.append(fast)
+    return fillers
 
 
 class SessionFeatureMatrix:

@@ -75,6 +75,10 @@ class TuningError(ReproError):
     """
 
 
+class OnlineError(ReproError):
+    """Raised for online-learning failures (``repro.online``)."""
+
+
 class ServingError(ReproError):
     """The online serving layer received an invalid request or reply."""
 

@@ -87,6 +87,7 @@ def _ensure_loaded() -> None:
         fig11_min_gap,
         fig12_convergence,
         fig13_timing,
+        fig_drift,
         table2_stats,
         table3_improvement,
         table4_defaults,

@@ -40,6 +40,7 @@ from repro.engine.query import Query, iter_queries_in_order
 from repro.engine.session import ScoringSession
 from repro.exceptions import SamplingError
 from repro.models.base import Recommender
+from repro.optim.kernels import fpmc_sequential_update
 from repro.optim.lasso import sigmoid_scalar
 from repro.optim.sgd import SGDResult, run_sgd
 from repro.rng import ensure_rng
@@ -184,64 +185,30 @@ class FPMCRecommender(Recommender):
                 pairs[r, 1] = integers(n_items)
             return pairs
 
-        # Block kernel: identical arithmetic with buffered ufuncs and a
-        # single eta evaluation per update (the scalar path computes the
-        # same eta twice); bit-identical to ``apply_update`` in order.
-        K_dim = K
-        decay = 1 - alpha * gamma
-        d_buf = np.empty(K_dim)       # IL[v_i] - IL[v_j]
-        ce_buf = np.empty(K_dim)      # coeff * eta
-        cb_buf = np.empty(K_dim)      # (coeff / |basket|) * il_diff
-        x_buf = np.empty(K_dim)
-        u_old = np.empty(K_dim)
-        iu_buf = np.empty(K_dim)
-        ciu_buf = np.empty(K_dim)
-        cu_buf = np.empty(K_dim)
+        # Block kernel, delegated to :mod:`repro.optim.kernels` so the
+        # online trainer (``repro.online``) applies the exact same
+        # arithmetic: buffered ufuncs with a single eta evaluation per
+        # update (the scalar path computes the same eta twice),
+        # bit-identical to ``apply_update`` in order.
 
-        def apply_block(pairs: np.ndarray) -> None:
-            # In-place ``+=`` on the shared buffers would otherwise make
-            # the names function-local.
-            nonlocal x_buf
-            pair_list = pairs.tolist()
-            for position, v_j in pair_list:
+        def _block_updates(pairs: np.ndarray):
+            for position, v_j in pairs.tolist():
                 v_i = int(positives[position])
                 if v_j == v_i:
                     continue  # the draws are already consumed
-                basket = baskets[position]
-                eta = LI[basket].mean(axis=0)
-                np.subtract(IL[v_i], IL[v_j], out=d_buf)  # il_diff
-                margin = float(eta @ d_buf)
-                if use_user_term:
-                    user = int(users[position])
-                    np.subtract(IU[v_i], IU[v_j], out=iu_buf)
-                    margin += float(UI[user] @ iu_buf)
-                coeff = alpha * sigmoid_scalar(-margin)
+                yield int(users[position]), v_i, int(v_j), baskets[position]
 
-                if use_user_term:
-                    u_old[:] = UI[user]
-                    np.multiply(iu_buf, coeff, out=ciu_buf)
-                    np.multiply(u_old, decay, out=x_buf)
-                    x_buf += ciu_buf
-                    UI[user] = x_buf
-                    np.multiply(u_old, coeff, out=cu_buf)
-                    np.multiply(IU[v_i], decay, out=x_buf)
-                    x_buf += cu_buf
-                    IU[v_i] = x_buf
-                    np.multiply(IU[v_j], decay, out=x_buf)
-                    x_buf -= cu_buf
-                    IU[v_j] = x_buf
-                np.multiply(eta, coeff, out=ce_buf)
-                np.multiply(IL[v_i], decay, out=x_buf)
-                x_buf += ce_buf
-                IL[v_i] = x_buf
-                np.multiply(IL[v_j], decay, out=x_buf)
-                x_buf -= ce_buf
-                IL[v_j] = x_buf
-                basket_block = LI[basket]  # gathered copy
-                basket_block *= decay
-                np.multiply(d_buf, coeff / basket.size, out=cb_buf)
-                basket_block += cb_buf
-                LI[basket] = basket_block
+        def apply_block(pairs: np.ndarray) -> None:
+            fpmc_sequential_update(
+                UI,
+                IU,
+                IL,
+                LI,
+                _block_updates(pairs),
+                alpha=alpha,
+                gamma=gamma,
+                use_user_term=use_user_term,
+            )
 
         def get_state() -> dict:
             return {

@@ -24,7 +24,7 @@ from repro.data.sequence import ConsumptionSequence
 from repro.data.split import SplitDataset
 from repro.engine.query import Query
 from repro.models.base import Recommender
-from repro.optim.blocks import dependency_batches
+from repro.optim.kernels import ppr_block_update
 from repro.optim.lasso import sigmoid, sigmoid_scalar
 from repro.optim.sgd import SGDResult, run_sgd
 from repro.rng import ensure_rng
@@ -96,52 +96,20 @@ class PPRRecommender(Recommender):
             V[v_i] = (1 - alpha * gamma) * V[v_i] + coeff * u_vec
             V[v_j] = (1 - alpha * gamma) * V[v_j] - coeff * u_vec
 
-        # Block kernel. Updates with pairwise-disjoint rows (no shared
-        # user, no shared item) cannot observe each other's writes, so
-        # :func:`dependency_batches` groups each block into conflict-free
-        # batches that keep every conflicting pair in order, and each
-        # batch is applied in one shot: the ``(m,1,K)@(m,K,1)`` inner
-        # products are bit-identical to the per-row ``u @ d`` on this
-        # build, and everything else is elementwise. The scalar path's
-        # ``U``-first write order is preserved by deriving the ``V``
-        # updates from the *new* user rows.
-        decay = 1 - alpha * gamma
+        # Block kernel, delegated to :mod:`repro.optim.kernels` so the
+        # online trainer (``repro.online``) applies the exact same
+        # arithmetic.
 
         def apply_block(indices: np.ndarray) -> None:
-            users_blk = users[indices]
-            pos_blk = positives[indices]
-            neg_blk = negatives[indices]
-            for batch in dependency_batches(users_blk, pos_blk, neg_blk):
-                run_users = users_blk[batch]
-                # One stacked gather/scatter covers both item roles; a
-                # batch's items are pairwise distinct, so the scatter
-                # below writes each row exactly once.
-                m = batch.size
-                run_items = np.concatenate((pos_blk[batch], neg_blk[batch]))
-                u_rows = U[run_users]
-                v_rows = V[run_items]
-                d = np.subtract(v_rows[:m], v_rows[m:])  # item_diff
-                margins = np.matmul(
-                    u_rows[:, None, :], d[:, :, None]
-                )[:, 0, 0]
-                # ``alpha * sigmoid(-margin)`` inlined: |−z| == |z| and
-                # ``-z >= 0`` iff ``z <= 0`` (also for ±0.0).
-                exp_term = np.exp(np.negative(np.abs(margins)))
-                denom = exp_term + 1.0
-                coeffs = np.where(
-                    margins <= 0.0, 1.0 / denom, exp_term / denom
-                )
-                coeffs *= alpha
-                coeffs_col = coeffs[:, None]
-
-                new_u = np.multiply(u_rows, decay)
-                new_u += np.multiply(d, coeffs_col)
-                cu = np.multiply(new_u, coeffs_col)  # post-update u
-                new_v = np.multiply(v_rows, decay)
-                new_v[:m] += cu
-                new_v[m:] -= cu
-                U[run_users] = new_u
-                V[run_items] = new_v
+            ppr_block_update(
+                U,
+                V,
+                users[indices],
+                positives[indices],
+                negatives[indices],
+                alpha=alpha,
+                gamma=gamma,
+            )
 
         def batch_margin() -> float:
             margins = np.einsum(

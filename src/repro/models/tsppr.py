@@ -38,7 +38,7 @@ from repro.exceptions import ModelError, NotFittedError
 from repro.features.cache import QuadrupleFeatureCache
 from repro.features.vectorizer import BehavioralFeatureModel
 from repro.models.base import Recommender
-from repro.optim.blocks import dependency_batches
+from repro.optim.kernels import tsppr_block_update, tsppr_shared_update
 from repro.optim.lasso import sigmoid, sigmoid_scalar
 from repro.optim.sgd import SGDResult, run_sgd
 from repro.rng import ensure_rng
@@ -230,133 +230,42 @@ class TSPPRRecommender(Recommender):
             else:
                 self.mappings_[user] = new_A  # type: ignore[index]
 
-        # Block kernel. Updates whose parameter rows are pairwise
-        # disjoint (no shared user, no shared item) cannot observe each
-        # other's writes, so :func:`dependency_batches` groups each
-        # block into conflict-free batches that preserve the order of
-        # every conflicting pair, and each batch is applied in one shot:
-        # stacked ``(m,K,F)@(m,F,1)`` matmuls and ``(m,1,K)@(m,K,1)``
-        # inner products are bit-identical to their per-row counterparts
-        # on this build (asserted by
-        # ``tests/test_training_equivalence.py``), and every other step
-        # is elementwise, so batching cannot change a single bit. With a
-        # shared mapping every update conflicts through ``A``, so that
-        # configuration keeps a buffered per-update loop.
-        K = int(U.shape[1])
-        F = int(fdiff.shape[1])
-        decay_latent = 1 - alpha * gamma
-        decay_mapping = 1 - alpha * lam
+        # Block kernel, delegated to :mod:`repro.optim.kernels` so the
+        # online trainer (``repro.online``) applies the exact same
+        # arithmetic. Per-user mappings take the conflict-free batched
+        # path; with a shared mapping every update conflicts through
+        # ``A``, so that configuration keeps a buffered per-update loop.
         share_mapping = self.config.share_mapping
-        mapped_buf = np.empty(K)
-        s_buf = np.empty(K)
-        cs_buf = np.empty(K)
-        cu_buf = np.empty(K)
-        u_buf = np.empty(K)
-        v_buf = np.empty(K)
-        outer_buf = np.empty((K, F))
-        mapping_buf = np.empty((K, F))
-
-        def _apply_block_shared(indices: np.ndarray) -> None:
-            # In-place ``+=`` on the shared buffers would otherwise make
-            # the names function-local.
-            nonlocal s_buf, u_buf, v_buf, outer_buf, mapping_buf
-            users_blk = users[indices].tolist()
-            pos_blk = positives[indices].tolist()
-            neg_blk = negatives[indices].tolist()
-            fdiff_blk = fdiff[indices]
-            for r in range(len(users_blk)):
-                user = users_blk[r]
-                v_i, v_j = pos_blk[r], neg_blk[r]
-                diff = fdiff_blk[r]
-                u_vec = U[user]
-                A_u = self.mappings_
-                np.matmul(A_u, diff, out=mapped_buf)
-                if use_static:
-                    np.subtract(V[v_i], V[v_j], out=s_buf)  # item_diff
-                    s_buf += mapped_buf
-                    margin = float(u_vec @ s_buf)
-                else:
-                    margin = float(u_vec @ mapped_buf)
-                coeff = alpha * sigmoid_scalar(-margin)
-
-                if use_static:
-                    np.multiply(s_buf, coeff, out=cs_buf)
-                else:
-                    np.multiply(mapped_buf, coeff, out=cs_buf)
-                np.multiply(u_vec, decay_latent, out=u_buf)
-                u_buf += cs_buf  # new_u; not yet written back
-                if use_static:
-                    np.multiply(u_vec, coeff, out=cu_buf)
-                    np.multiply(V[v_i], decay_latent, out=v_buf)
-                    v_buf += cu_buf
-                    V[v_i] = v_buf
-                    np.multiply(V[v_j], decay_latent, out=v_buf)
-                    v_buf -= cu_buf
-                    V[v_j] = v_buf
-                np.multiply(u_vec[:, None], diff, out=outer_buf)
-                outer_buf *= coeff
-                np.multiply(A_u, decay_mapping, out=mapping_buf)
-                mapping_buf += outer_buf
-                U[user] = u_buf
-                self.mappings_ = mapping_buf.copy()
 
         def apply_block(indices: np.ndarray) -> None:
             if share_mapping:
-                _apply_block_shared(indices)
-                return
-            users_blk = users[indices]
-            pos_blk = positives[indices]
-            neg_blk = negatives[indices]
-            fdiff_blk = fdiff[indices]
-            mappings = self.mappings_
-            for batch in dependency_batches(users_blk, pos_blk, neg_blk):
-                run_users = users_blk[batch]
-                diff = fdiff_blk[batch]
-                u_rows = U[run_users]
-                A_rows = mappings[run_users]
-                mapped = np.matmul(A_rows, diff[:, :, None])[:, :, 0]
-                if use_static:
-                    # One stacked gather/scatter covers both item roles;
-                    # a batch's items are pairwise distinct, so the
-                    # scatter below writes each row exactly once.
-                    m = batch.size
-                    run_items = np.concatenate((pos_blk[batch], neg_blk[batch]))
-                    v_rows = V[run_items]
-                    v_i_rows = v_rows[:m]
-                    v_j_rows = v_rows[m:]
-                    s = np.subtract(v_i_rows, v_j_rows)  # item_diff
-                    s += mapped
-                else:
-                    s = mapped
-                margins = np.matmul(
-                    u_rows[:, None, :], s[:, :, None]
-                )[:, 0, 0]
-                # ``alpha * sigmoid(-margin)`` inlined: |−z| == |z| and
-                # ``-z >= 0`` iff ``z <= 0`` (also for ±0.0), so this is
-                # the stable two-branch sigmoid evaluated without the
-                # extra negation or function-call overhead.
-                exp_term = np.exp(np.negative(np.abs(margins)))
-                denom = exp_term + 1.0
-                coeffs = np.where(
-                    margins <= 0.0, 1.0 / denom, exp_term / denom
+                self.mappings_ = tsppr_shared_update(
+                    U,
+                    V,
+                    self.mappings_,
+                    users[indices].tolist(),
+                    positives[indices].tolist(),
+                    negatives[indices].tolist(),
+                    fdiff[indices],
+                    alpha=alpha,
+                    gamma=gamma,
+                    lam=lam,
+                    use_static=use_static,
                 )
-                coeffs *= alpha
-                coeffs_col = coeffs[:, None]
-
-                new_u = np.multiply(u_rows, decay_latent)
-                new_u += np.multiply(s, coeffs_col)
-                if use_static:
-                    cu = np.multiply(u_rows, coeffs_col)  # pre-update u
-                    new_v = np.multiply(v_rows, decay_latent)
-                    new_v[:m] += cu
-                    new_v[m:] -= cu
-                    V[run_items] = new_v
-                outer = np.multiply(u_rows[:, :, None], diff[:, None, :])
-                outer *= coeffs[:, None, None]
-                new_a = np.multiply(A_rows, decay_mapping)
-                new_a += outer
-                U[run_users] = new_u
-                mappings[run_users] = new_a
+                return
+            tsppr_block_update(
+                U,
+                V,
+                self.mappings_,
+                users[indices],
+                positives[indices],
+                negatives[indices],
+                fdiff[indices],
+                alpha=alpha,
+                gamma=gamma,
+                lam=lam,
+                use_static=use_static,
+            )
 
         def batch_margin() -> float:
             u_rows = U[batch_users]

@@ -1,0 +1,54 @@
+"""Incremental online learning: ISGD updates fed by the serving WAL.
+
+Offline training fits TS-PPR/PPR/FPMC factors once on a frozen training
+walk; the serving stack then ingests live events that update session
+*state* but never the *model*, so fitted factors go stale as behaviour
+drifts. This subsystem closes that loop with per-event incremental SGD
+in the style of Vinagre et al.'s ISGD: every ingested consumption event
+becomes (when the model's sampling policy admits one) a pairwise
+ranking update applied through the exact batched kernels offline
+training uses (:mod:`repro.optim.kernels`).
+
+The core invariant mirrors the one serving sessions already guarantee:
+a model rebuilt by replaying the crc-checked
+:class:`~repro.serving.events.EventLog` from an (atomic, checksummed)
+online checkpoint is **bit-identical** — fingerprint-checked — to the
+model the live trainer updated event by event. Everything that could
+break that is pinned down: updates are captured against the pre-event
+session state (itself bit-identically replayable), negative draws come
+from the trainer's own checkpointed RNG, and the flush batch window is
+provably order-preserving for conflicting updates, so batching cadence
+cannot change a single parameter bit.
+
+Entry points:
+
+* :class:`~repro.online.trainer.OnlineTrainer` — buffers observed
+  events, flushes batched kernel updates, checkpoints, replays;
+* :func:`~repro.online.adapters.adapter_for` — per-model update
+  policies (what counts as a positive, how negatives are drawn, which
+  kernel applies the math);
+* ``ServiceConfig(online="isgd")`` /
+  ``repro-serve serve --online isgd`` — live wiring through
+  :func:`~repro.serving.service.service_for_split`;
+* ``repro-experiments run fig_drift`` — frozen vs. online sliding-window
+  MaAP on a drifting synthetic stream.
+"""
+
+from repro.online.adapters import (
+    FPMCOnlineAdapter,
+    OnlineAdapter,
+    PPROnlineAdapter,
+    TSPPROnlineAdapter,
+    adapter_for,
+)
+from repro.online.trainer import OnlineTrainer, fingerprint_params
+
+__all__ = [
+    "FPMCOnlineAdapter",
+    "OnlineAdapter",
+    "OnlineTrainer",
+    "PPROnlineAdapter",
+    "TSPPROnlineAdapter",
+    "adapter_for",
+    "fingerprint_params",
+]

@@ -5,6 +5,9 @@
   convergence check (Section 5.6.1);
 * :mod:`repro.optim.convergence` — the margin-history monitor behind
   Fig 12;
+* :mod:`repro.optim.kernels` — the extracted TS-PPR/PPR/FPMC parameter
+  update kernels shared by offline block SGD and the online trainer
+  (:mod:`repro.online`);
 * :mod:`repro.optim.lasso` — L1-regularized logistic regression by
   accelerated proximal gradient (STREC's linear model);
 * :mod:`repro.optim.newton` — a damped Newton solver (Cox partial
@@ -12,6 +15,12 @@
 """
 
 from repro.optim.convergence import ConvergenceMonitor
+from repro.optim.kernels import (
+    fpmc_sequential_update,
+    ppr_block_update,
+    tsppr_block_update,
+    tsppr_shared_update,
+)
 from repro.optim.lasso import LogisticLasso, sigmoid, sigmoid_scalar
 from repro.optim.newton import NewtonResult, newton_minimize
 from repro.optim.sgd import SGDResult, run_sgd
@@ -21,8 +30,12 @@ __all__ = [
     "LogisticLasso",
     "NewtonResult",
     "SGDResult",
+    "fpmc_sequential_update",
     "newton_minimize",
+    "ppr_block_update",
     "run_sgd",
     "sigmoid",
     "sigmoid_scalar",
+    "tsppr_block_update",
+    "tsppr_shared_update",
 ]

@@ -29,7 +29,7 @@ The sharded, fault-tolerant deployment of this stack lives in
 """
 
 from repro.serving.client import ServingClient
-from repro.serving.events import Event, EventLog
+from repro.serving.events import Event, EventLog, scan_events
 from repro.serving.metrics import (
     LatencyHistogram,
     ServingMetrics,
@@ -57,5 +57,6 @@ __all__ = [
     "ServingMetrics",
     "SessionStore",
     "merge_snapshots",
+    "scan_events",
     "service_for_split",
 ]

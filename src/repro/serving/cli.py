@@ -40,7 +40,7 @@ from repro.models.pop import PopRecommender
 from repro.models.ppr import PPRRecommender
 from repro.models.recency import RecencyRecommender
 from repro.models.tsppr import TSPPRRecommender
-from repro.serving.events import EventLog
+from repro.serving.events import EventLog, scan_events
 from repro.serving.server import RecommendServer
 from repro.serving.service import ServiceConfig, service_for_split
 from repro.serving.state import SessionStore
@@ -67,6 +67,9 @@ SERVE_KNOB_ARGS = (
     "admission_wait_ms",
     "capacity",
     "store",
+    "online",
+    "online_lr",
+    "online_batch",
 )
 
 #: Registry knobs ``cluster`` exposes (no micro-batch sizing flags).
@@ -177,6 +180,39 @@ def add_store_arguments(
         )
 
 
+def add_online_arguments(
+    parser: argparse.ArgumentParser, include_checkpoint_dir: bool = False
+) -> None:
+    """Online-learning options shared by serve, cluster, and replay."""
+    parser.add_argument(
+        "--online",
+        default=None,
+        choices=knob("serving", "online").choices,
+        help=_knob_flag_help("online"),
+    )
+    parser.add_argument(
+        "--online-lr",
+        type=float,
+        default=None,
+        help=_knob_flag_help("online_lr"),
+    )
+    parser.add_argument(
+        "--online-batch",
+        type=int,
+        default=None,
+        help=_knob_flag_help("online_batch"),
+    )
+    if include_checkpoint_dir:
+        parser.add_argument(
+            "--online-checkpoint-dir",
+            type=Path,
+            default=None,
+            help="directory for atomic checksummed online checkpoints; a "
+            "restart resumes from the newest one and replays only the "
+            "WAL suffix behind it",
+        )
+
+
 def add_batching_arguments(parser: argparse.ArgumentParser) -> None:
     """Scoring-loop options shared by ``serve`` and ``cluster``."""
     parser.add_argument(
@@ -249,6 +285,7 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help=_knob_flag_help("max_wait_ms"),
     )
     add_batching_arguments(parser)
+    add_online_arguments(parser, include_checkpoint_dir=True)
     add_profile_argument(parser)
     parser.add_argument(
         "--deadline-ms",
@@ -327,6 +364,10 @@ def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         help="durability policy of every shard WAL",
     )
     add_batching_arguments(parser)
+    # Shards are checkpoint-less: a restarted worker catches its model
+    # up by replaying its shard WAL, which recovery already guarantees
+    # rebuilds session state — and now factors — bit-identically.
+    add_online_arguments(parser)
     add_profile_argument(parser)
     parser.add_argument(
         "--heartbeat-interval",
@@ -369,6 +410,19 @@ def add_replay_arguments(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=7, help="dataset seed (must match serve)"
     )
     add_store_arguments(parser)
+    add_online_arguments(parser)
+    parser.add_argument(
+        "--model",
+        default="tsppr",
+        choices=MODEL_CHOICES,
+        help="model to rebuild when --online isgd (must match serve)",
+    )
+    parser.add_argument(
+        "--max-epochs",
+        type=int,
+        default=3000,
+        help="training budget for the --online isgd model rebuild",
+    )
     add_profile_argument(parser)
     parser.add_argument(
         "--user",
@@ -424,6 +478,9 @@ def run_serve(args: argparse.Namespace) -> int:
         max_inflight_rows=int(knobs["max_inflight_rows"]),  # type: ignore[arg-type]
         admission_wait_ms=float(knobs["admission_wait_ms"]),  # type: ignore[arg-type]
         n_items=split.n_items,
+        online=str(knobs["online"]),
+        online_lr=float(knobs["online_lr"]),  # type: ignore[arg-type]
+        online_batch=int(knobs["online_batch"]),  # type: ignore[arg-type]
     )
     service = service_for_split(
         model,
@@ -434,6 +491,11 @@ def run_serve(args: argparse.Namespace) -> int:
         store=str(knobs["store"]),
         store_dir=(
             str(args.store_dir) if args.store_dir is not None else None
+        ),
+        online_checkpoint_dir=(
+            str(args.online_checkpoint_dir)
+            if args.online_checkpoint_dir is not None
+            else None
         ),
     )
     if event_log is not None and len(event_log):
@@ -473,6 +535,9 @@ def run_cluster(args: argparse.Namespace) -> int:
         max_inflight_rows=int(knobs["max_inflight_rows"]),  # type: ignore[arg-type]
         admission_wait_ms=float(knobs["admission_wait_ms"]),  # type: ignore[arg-type]
         n_items=split.n_items,
+        online=str(knobs["online"]),
+        online_lr=float(knobs["online_lr"]),  # type: ignore[arg-type]
+        online_batch=int(knobs["online_batch"]),  # type: ignore[arg-type]
     )
     supervisor = ShardSupervisor(
         split,
@@ -500,11 +565,75 @@ def run_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_replay_online(args: argparse.Namespace) -> int:
+    """Rebuild the online-updated *model* from the log, streaming.
+
+    Refits the frozen model exactly as ``serve`` did, then streams the
+    log's committed events — via :func:`scan_events`, one record at a
+    time, never loading a segment into memory — through an
+    :class:`~repro.online.trainer.OnlineTrainer`. The printed
+    fingerprint must equal the crashed server's live one: the
+    operator-facing form of the replay-identity invariant.
+    """
+    from repro.online.trainer import OnlineTrainer
+
+    resolved = resolve_knob_args(
+        args, "serving", ("online_lr", "online_batch"), required=False
+    )
+    split = build_split(args.dataset, args.seed)
+    model = build_model(args.model, split, args.max_epochs, args.seed)
+    trainer = OnlineTrainer(
+        model,
+        learning_rate=float(resolved["online_lr"].value),
+        batch_window=int(resolved["online_batch"].value),
+    )
+
+    def base_history(user: int):
+        if 0 <= user < split.n_users:
+            return split.train_sequence(user)
+        return None
+
+    window = WindowConfig()
+    store = SessionStore(
+        window.window_size,
+        window.min_gap,
+        capacity=max(split.n_users, 1),
+        history_provider=base_history,
+    )
+    ts_seen = []
+
+    def stream():
+        for event in scan_events(args.event_log):
+            if event.ts is not None:
+                if not ts_seen:
+                    ts_seen.append(event.ts)
+                    ts_seen.append(event.ts)
+                ts_seen[1] = event.ts
+            yield event
+
+    n_events = trainer.replay(stream(), store)
+    span = (
+        f", event ts {ts_seen[0]:.3f} .. {ts_seen[1]:.3f} "
+        f"({ts_seen[1] - ts_seen[0]:.1f}s span)"
+        if ts_seen
+        else ""
+    )
+    print(
+        f"online rebuild ({args.model}): replayed {n_events} event(s)"
+        f"{span}"
+    )
+    print(f"model fingerprint={trainer.model_fingerprint()}")
+    return 0
+
+
 def run_replay(args: argparse.Namespace) -> int:
     """Rebuild per-user state from the log and print fingerprints."""
     if not args.event_log.exists():
         print(f"event log not found: {args.event_log}", file=sys.stderr)
         return 1
+    online = args.online if args.online is not None else "off"
+    if online != "off":
+        return run_replay_online(args)
     resolved = resolve_knob_args(
         args, "serving", ("store",), required=False
     )

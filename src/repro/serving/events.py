@@ -5,11 +5,13 @@ any in-memory session, so a crashed server can rebuild bit-identical
 session state by replaying the log over the base histories
 (write-ahead-log discipline). The format is one JSON record per line::
 
-    {"seq": 17, "user": 3, "item": 42, "crc": "1a2b3c4d"}
+    {"seq": 17, "user": 3, "item": 42, "ts": 1754600000.25, "crc": "1a2b3c4d"}
 
-``seq`` is a contiguous global sequence number and ``crc`` the CRC-32 of
-the canonical ``"seq:user:item"`` payload, so recovery can tell the two
-failure modes apart:
+``seq`` is a contiguous global sequence number, ``ts`` the wall-clock
+commit time (optional — records written before timestamps existed omit
+it and parse fine), and ``crc`` the CRC-32 of the canonical
+``"seq:user:item"`` (or ``"seq:user:item:ts"``) payload, so recovery
+can tell the two failure modes apart:
 
 * a **torn tail** — the final line truncated mid-write by a crash — is
   expected and silently discarded (the event never committed; the
@@ -28,12 +30,19 @@ A :class:`~repro.resilience.faults.FaultInjector` can be armed on the
 append path (its ``on_write`` hook fires before the record reaches the
 file), which is how the crash-recovery suite kills the server
 mid-stream at deterministic points.
+
+:func:`scan_events` streams a log file record-by-record (same torn-tail
+tolerance and corruption/contiguity checks as :meth:`EventLog.open`)
+without materializing the whole file or any in-memory index — the
+inspection path ``repro-serve replay`` and the offline online-trainer
+rebuild use it to walk arbitrarily large logs in O(1) memory.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -49,28 +58,47 @@ EVENT_LOG_VERSION = 1
 FSYNC_POLICIES = ("always", "interval", "never")
 
 
-def _payload_crc(seq: int, user: int, item: int) -> str:
-    """CRC-32 (hex, no prefix) of the canonical record payload."""
-    payload = f"{seq}:{user}:{item}".encode("ascii")
-    return format(zlib.crc32(payload) & 0xFFFFFFFF, "08x")
+def _payload_crc(
+    seq: int, user: int, item: int, ts: Optional[float] = None
+) -> str:
+    """CRC-32 (hex, no prefix) of the canonical record payload.
+
+    Timestamped records extend the payload with ``repr(ts)`` —
+    ``repr``/JSON round-trip floats exactly, so the crc stays stable
+    across write/parse cycles; legacy records (``ts is None``) keep the
+    original three-field payload so their stored crcs still verify.
+    """
+    payload = f"{seq}:{user}:{item}"
+    if ts is not None:
+        payload += f":{ts!r}"
+    return format(zlib.crc32(payload.encode("ascii")) & 0xFFFFFFFF, "08x")
 
 
 @dataclass(frozen=True)
 class Event:
-    """One committed consumption event."""
+    """One committed consumption event.
+
+    ``ts`` is the wall-clock commit time. It is metadata for inspection
+    and update-lag accounting only — replay and the online trainer key
+    every decision off ``seq``/``user``/``item``, so two logs that
+    differ only in timestamps rebuild bit-identical state.
+    """
 
     seq: int
     user: int
     item: int
+    ts: Optional[float] = None
 
     def to_line(self) -> str:
         """The record's exact on-disk line (including the newline)."""
-        record = {
+        record: dict = {
             "seq": self.seq,
             "user": self.user,
             "item": self.item,
-            "crc": _payload_crc(self.seq, self.user, self.item),
         }
+        if self.ts is not None:
+            record["ts"] = self.ts
+        record["crc"] = _payload_crc(self.seq, self.user, self.item, self.ts)
         return json.dumps(record, separators=(",", ":")) + "\n"
 
 
@@ -78,14 +106,17 @@ def _parse_line(line: str) -> Optional[Event]:
     """Parse one complete line; ``None`` marks an invalid/torn record."""
     try:
         record = json.loads(line)
+        ts = record.get("ts")
         event = Event(
             seq=int(record["seq"]),
             user=int(record["user"]),
             item=int(record["item"]),
+            ts=None if ts is None else float(ts),
         )
     except (ValueError, KeyError, TypeError):
         return None
-    if record.get("crc") != _payload_crc(event.seq, event.user, event.item):
+    expected = _payload_crc(event.seq, event.user, event.item, event.ts)
+    if record.get("crc") != expected:
         return None
     return event
 
@@ -262,7 +293,12 @@ class EventLog:
             )
         if self.fault_injector is not None:
             self.fault_injector.on_write()  # type: ignore[attr-defined]
-        event = Event(seq=len(self._events), user=int(user), item=int(item))
+        event = Event(
+            seq=len(self._events),
+            user=int(user),
+            item=int(item),
+            ts=time.time(),
+        )
         self._handle.write(event.to_line())
         self._handle.flush()
         self._unsynced += 1
@@ -345,3 +381,62 @@ class EventLog:
             f"EventLog(path={str(self.path)!r}, n_events={len(self._events)}, "
             f"users={len(self._by_user)})"
         )
+
+
+def scan_events(path: Union[str, Path]) -> Iterator[Event]:
+    """Stream a log file's committed events in O(1) memory.
+
+    Yields each :class:`Event` (timestamps included) in append order
+    with the same validation :meth:`EventLog.open` applies — a torn
+    final record ends the stream silently, interior corruption or a
+    seq gap raises :class:`~repro.exceptions.DataError` — but without
+    building the whole-log list or per-user index, so inspection and
+    offline online-trainer rebuilds can walk logs far larger than
+    memory. A sealed manifest is honoured: scanning fewer records than
+    the seal pinned is data loss and raises.
+    """
+    path = Path(path)
+    n_scanned = 0
+    if path.exists():
+        with path.open("r", encoding="utf-8") as handle:
+            line = handle.readline()
+            line_no = 0
+            while line:
+                pending = handle.readline()
+                line_no += 1
+                if not line.endswith("\n"):
+                    # Final partial line: a torn write; never committed.
+                    break
+                event = _parse_line(line)
+                if event is None:
+                    if not pending:
+                        # Corrupt *final* complete line: also a torn
+                        # write (the newline made it, the payload tore).
+                        break
+                    raise DataError(
+                        f"corrupt event record at {path}:{line_no} "
+                        f"with valid records after it"
+                    )
+                if event.seq != n_scanned:
+                    raise DataError(
+                        f"event log {path} has non-contiguous seq "
+                        f"{event.seq} at line {line_no} "
+                        f"(expected {n_scanned})"
+                    )
+                n_scanned += 1
+                yield event
+                line = pending
+    manifest_path = path.with_name(path.name + ".manifest.json")
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DataError(
+                f"corrupt event-log manifest at {manifest_path}: {exc}"
+            ) from exc
+        sealed = int(manifest.get("n_records", 0))
+        if sealed > n_scanned:
+            raise DataError(
+                f"event log {path} holds {n_scanned} records but its "
+                f"manifest seals {sealed}: committed events were lost"
+            )

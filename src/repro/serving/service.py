@@ -143,6 +143,13 @@ class ServiceConfig:
     n_items:
         Optional item-vocabulary bound; ingested events outside it are
         rejected before touching any state.
+    online / online_lr / online_batch:
+        Incremental model updates (``repro.online``): ``"off"`` keeps
+        factors frozen (the default); ``"isgd"`` applies per-event SGD
+        updates on the ingest path through an
+        :class:`~repro.online.trainer.OnlineTrainer`, with the given
+        learning rate and flush batch window. The live model stays
+        bit-identical to a checkpoint+WAL-replay rebuild.
     """
 
     window: WindowConfig = field(default_factory=WindowConfig)
@@ -156,6 +163,9 @@ class ServiceConfig:
     manual_pump: bool = False
     default_deadline_ms: Optional[float] = None
     n_items: Optional[int] = None
+    online: str = str(_KNOB_DEFAULTS["online"])
+    online_lr: float = float(_KNOB_DEFAULTS["online_lr"])  # type: ignore[arg-type]
+    online_batch: int = int(_KNOB_DEFAULTS["online_batch"])  # type: ignore[arg-type]
 
     def __post_init__(self) -> None:
         if self.default_k <= 0:
@@ -164,6 +174,18 @@ class ServiceConfig:
             raise ServingError(
                 f"batching must be 'inflight' or 'microbatch', got "
                 f"{self.batching!r}"
+            )
+        if self.online not in ("off", "isgd"):
+            raise ServingError(
+                f"online must be 'off' or 'isgd', got {self.online!r}"
+            )
+        if self.online_lr <= 0:
+            raise ServingError(
+                f"online_lr must be positive, got {self.online_lr}"
+            )
+        if self.online_batch < 1:
+            raise ServingError(
+                f"online_batch must be >= 1, got {self.online_batch}"
             )
         if self.max_batch < 1:
             raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
@@ -293,6 +315,14 @@ class RecommendService:
         only as long as the process (and eviction loses them).
     config:
         Operational knobs; defaults match the paper's protocol.
+    online_trainer:
+        Optional :class:`~repro.online.trainer.OnlineTrainer` over the
+        *same* model. Every committed ingest is fed to it (pre-event
+        session state, WAL seq) before being applied to the session;
+        its metrics object becomes the service's, so online counters
+        and gauges flow through ``/metrics`` unmodified. Required when
+        ``config.online != "off"``
+        (:func:`service_for_split` builds and catches it up for you).
     """
 
     def __init__(
@@ -301,6 +331,7 @@ class RecommendService:
         store: SessionStore,
         event_log: Optional[EventLog] = None,
         config: Optional[ServiceConfig] = None,
+        online_trainer: Optional[object] = None,
     ) -> None:
         config = config or ServiceConfig()
         if not model.is_fitted:
@@ -319,11 +350,29 @@ class RecommendService:
                 f"not match service window ({config.window.window_size}, "
                 f"{config.window.min_gap})"
             )
+        if config.online != "off" and online_trainer is None:
+            raise ServingError(
+                f"config.online={config.online!r} requires an "
+                f"online_trainer (service_for_split wires one)"
+            )
+        if online_trainer is not None and online_trainer.model is not model:
+            raise ServingError(
+                "online_trainer must wrap the service's own model "
+                "instance — updates would otherwise go to a different "
+                "copy of the factors"
+            )
         self.model = model
         self.store = store
         self.event_log = event_log
         self.config = config
-        self.metrics = ServingMetrics()
+        self.online_trainer = online_trainer
+        # One metrics object: adopting the trainer's keeps any catch-up
+        # replay counters and merges online gauges through /metrics.
+        self.metrics = (
+            online_trainer.metrics
+            if online_trainer is not None
+            else ServingMetrics()
+        )
         self._request_ids = itertools.count()
         self._queue: "queue.Queue[object]" = queue.Queue()
         self._closed = False
@@ -425,7 +474,16 @@ class RecommendService:
                         f"ahead of the live stream (next is {n_live})"
                     )
             if self.event_log is not None:
-                self.event_log.append(user, item)
+                event = self.event_log.append(user, item)
+                if self.online_trainer is not None:
+                    # Committed to the WAL, not yet in the session: the
+                    # trainer captures against the exact pre-event state
+                    # a replay rebuild would reconstruct.
+                    self.online_trainer.observe(
+                        event.seq, user, item, session, ts=event.ts
+                    )
+            elif self.online_trainer is not None:
+                self.online_trainer.observe_next(user, item, session)
             position = session.append(item)
         self.metrics.inc("events")
         return position
@@ -844,6 +902,8 @@ class RecommendService:
             # Manual-pump services have no worker; flush whatever was
             # submitted so no handle is left hanging.
             self.pump()
+        if self.online_trainer is not None:
+            self.online_trainer.flush()
         if self.event_log is not None:
             self.event_log.close()
         logger.info("service closed")
@@ -976,6 +1036,7 @@ def service_for_split(
     capacity: int = int(_KNOB_DEFAULTS["capacity"]),  # type: ignore[arg-type]
     store: str = str(_KNOB_DEFAULTS["store"]),
     store_dir: Optional[str] = None,
+    online_checkpoint_dir: Optional[str] = None,
 ) -> RecommendService:
     """Wire a service whose base histories are a split's training prefixes.
 
@@ -992,21 +1053,62 @@ def service_for_split(
     fetch through ``split.train_sequence``. Every kind answers
     bit-identically; they differ in resident memory and rehydration
     cost (``BENCH_memory.json``).
+
+    With ``config.online="isgd"`` an
+    :class:`~repro.online.trainer.OnlineTrainer` is built over the
+    model, restored from the newest checkpoint under
+    ``online_checkpoint_dir`` (when given), and **caught up** on the
+    recovered log before the service opens: every committed event is
+    replayed through a throwaway session store — base histories only,
+    never the serving store, so arena tails are not polluted — with
+    events before the checkpoint cursor only advancing session state
+    and later ones applying ISGD updates. The factors the service
+    starts with are therefore bit-identical to the ones a never-crashed
+    live trainer would hold.
     """
     config = config or ServiceConfig(n_items=split.n_items)
 
+    def base_history(user: int):
+        if 0 <= user < split.n_users:
+            return split.train_sequence(user)
+        return None
+
     if store == "callable":
-
-        def history(user: int):
-            if 0 <= user < split.n_users:
-                return split.train_sequence(user)
-            return None
-
-        provider = history
+        provider = base_history
     else:
         provider = split.history_store(
             kind=store, base="train", directory=store_dir
         )
+
+    trainer = None
+    if config.online != "off":
+        from repro.online.trainer import OnlineTrainer
+        from repro.resilience.checkpoint import CheckpointManager
+
+        manager = (
+            CheckpointManager(online_checkpoint_dir)
+            if online_checkpoint_dir is not None
+            else None
+        )
+        trainer = OnlineTrainer(
+            model,
+            learning_rate=config.online_lr,
+            batch_window=config.online_batch,
+            checkpoint_manager=manager,
+        )
+        trainer.load_latest()
+        if event_log is not None and len(event_log) > 0:
+            # Catch-up replay over a throwaway lossless store (capacity
+            # covers every user, no eviction): session-state
+            # trajectories are store-kind invariant, so capture sees
+            # exactly the states the live trainer saw.
+            catchup_store = SessionStore(
+                config.window.window_size,
+                config.window.min_gap,
+                capacity=max(split.n_users, 1),
+                history_provider=base_history,
+            )
+            trainer.replay(event_log.iter_events(), catchup_store)
 
     session_store = SessionStore(
         config.window.window_size,
@@ -1018,5 +1120,9 @@ def service_for_split(
         ),
     )
     return RecommendService(
-        model, session_store, event_log=event_log, config=config
+        model,
+        session_store,
+        event_log=event_log,
+        config=config,
+        online_trainer=trainer,
     )

@@ -203,6 +203,11 @@ class LiveSession:
             [last_pos.get(int(key), -1) for key in keys], dtype=np.int64
         )
 
+    def last_positions_list(self, keys) -> List[int]:
+        """Plain-int last positions (feature-filler fast path)."""
+        last_pos = self._last_pos
+        return [last_pos.get(int(key), -1) for key in keys]
+
     def is_next_target(self, item: int) -> bool:
         """Whether consuming ``item`` *now* would be an RRC target.
 

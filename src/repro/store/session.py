@@ -217,6 +217,10 @@ class StoreSession:
             [self.last_position(key) for key in keys], dtype=np.int64
         )
 
+    def last_positions_list(self, keys) -> List[int]:
+        """Plain-int last positions (feature-filler fast path)."""
+        return [self.last_position(key) for key in keys]
+
     def is_next_target(self, item: int) -> bool:
         """Whether consuming ``item`` *now* would be an RRC target.
 

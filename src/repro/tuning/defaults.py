@@ -204,6 +204,36 @@ def _build_registry() -> Dict[str, Dict[str, Knob]]:
             "memory-mapped arena, or per-user Python lists; answers are "
             "bit-identical either way",
         ),
+        # Online-learning knobs carry an empty ``search`` tuple: they
+        # change the model, not the serving schedule, so the autotuner's
+        # latency objective cannot rank them (candidate spaces stay
+        # 54/38 per batching mode).
+        Knob(
+            "online", "serving", "off", str, choices=("off", "isgd"),
+            search=(),
+            consumer="repro.online.trainer.OnlineTrainer",
+            help="incremental model updates per ingested event: off "
+            "(frozen factors, the default) or isgd per-event SGD; the "
+            "live model stays bit-identical to a checkpoint+WAL-replay "
+            "rebuild either way",
+        ),
+        Knob(
+            "online_lr", "serving", 0.05, float, lo=1e-6, hi=1.0,
+            search=(),
+            consumer="repro.online.trainer.OnlineTrainer",
+            help="online mode: ISGD learning rate applied per event "
+            "(independent of the offline fit's schedule)",
+        ),
+        Knob(
+            "online_batch", "serving", 256, int, lo=1, hi=4096,
+            search=(),
+            consumer="repro.online.trainer.OnlineTrainer",
+            help="online mode: events buffered before one batched kernel "
+            "flush; final parameters are bit-identical at any window "
+            "(conflict order is preserved), so the window only trades "
+            "update lag against how often kernel work can land on the "
+            "serving tail",
+        ),
     ]
     # The cluster shards run the same scoring loop per worker; its knob
     # set is the in-flight subset plus per-shard capacity/store (the

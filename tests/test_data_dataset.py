@@ -91,3 +91,16 @@ class TestSubsetUsers:
     def test_empty_subset(self, tiny_dataset):
         subset = tiny_dataset.subset_users([])
         assert subset.n_users == 0
+
+
+class TestSequencesRemoved:
+    def test_deprecated_sequences_property_is_gone(self, tiny_dataset):
+        """The ad-hoc mutable history list completed its deprecation.
+
+        Histories are reachable only through the supported surfaces —
+        iteration, ``sequence(user)``, ``history_store()`` — so every
+        consumer shares one representation.
+        """
+        assert not hasattr(tiny_dataset, "sequences")
+        with pytest.raises(AttributeError):
+            tiny_dataset.sequences

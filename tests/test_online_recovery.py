@@ -1,0 +1,195 @@
+"""Online-model crash recovery: checkpoint + WAL suffix == live factors.
+
+The serving recovery suite proves *session state* survives mid-stream
+kills bit-identically; this one proves the *model* does too. A service
+with live ISGD updates crashes at an injected WAL-write fault
+(:class:`~repro.resilience.faults.FaultInjector` — the write never
+commits, exactly a SIGKILL at the append boundary), a fresh process
+refits the deterministic base model, restores the newest online
+checkpoint if any, catches up by WAL replay, and finishes the stream.
+Its final fingerprint must equal a never-crashed reference run's, for
+every model family and at a sweep of kill points (tier-2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from conftest import SMALL_WINDOW
+
+from repro.data.split import SplitDataset
+from repro.resilience.faults import FaultInjected, FaultInjector
+from repro.serving.events import EventLog
+from repro.serving.service import service_for_split
+
+from test_online_trainer import (
+    MODEL_BUILDERS,
+    held_out_stream,
+    online_config,
+)
+
+K = 5
+
+
+def reference_fingerprint(
+    split: SplitDataset, kind: str, stream, tmp_path
+) -> str:
+    """The never-crashed live run every recovery must reproduce."""
+    model = MODEL_BUILDERS[kind](split)
+    log = EventLog.open(tmp_path / "reference.log")
+    with service_for_split(
+        model,
+        split,
+        event_log=log,
+        config=online_config(n_items=split.n_items),
+    ) as service:
+        for user, item in stream:
+            service.step(user, item, k=K)
+        return service.online_trainer.model_fingerprint()
+
+
+def crash_and_recover(
+    split: SplitDataset,
+    kind: str,
+    stream,
+    tmp_path,
+    crash_on_write: int,
+    checkpoint_at: Optional[int] = None,
+) -> Tuple[int, str]:
+    """Crash at the M-th WAL write, restart, finish the stream.
+
+    Returns (position the crash interrupted, recovered final
+    fingerprint). With ``checkpoint_at`` the live trainer checkpoints
+    at that stream position, and the restarted service resumes from the
+    checkpoint instead of replaying the whole log.
+    """
+    log_path = tmp_path / f"crash{crash_on_write}.log"
+    ckpt_dir = tmp_path / f"ckpt{crash_on_write}"
+    injector = FaultInjector(crash_on_write=crash_on_write)
+    log = EventLog.open(log_path, fault_injector=injector)
+    model = MODEL_BUILDERS[kind](split)
+    service = service_for_split(
+        model,
+        split,
+        event_log=log,
+        config=online_config(n_items=split.n_items),
+        online_checkpoint_dir=str(ckpt_dir),
+    )
+    crashed_at = None
+    for index, (user, item) in enumerate(stream):
+        if checkpoint_at is not None and index == checkpoint_at:
+            service.online_trainer.checkpoint()
+        try:
+            service.step(user, item, k=K)
+        except FaultInjected:
+            crashed_at = index
+            break
+    assert crashed_at is not None, "injector never fired"
+    # Simulated hard kill: no close(), no flush, no seal. The crashed
+    # service's model object is dead with the process.
+
+    recovered_log = EventLog.open(log_path)
+    assert len(recovered_log) == crashed_at
+    fresh_model = MODEL_BUILDERS[kind](split)
+    recovered = service_for_split(
+        fresh_model,
+        split,
+        event_log=recovered_log,
+        config=online_config(n_items=split.n_items),
+        online_checkpoint_dir=str(ckpt_dir),
+    )
+    if checkpoint_at is not None and checkpoint_at < crashed_at:
+        assert recovered.online_trainer.cursor >= checkpoint_at
+    with recovered:
+        for user, item in stream[crashed_at:]:
+            recovered.step(user, item, k=K)
+        return crashed_at, recovered.online_trainer.model_fingerprint()
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("kind", ("tsppr", "ppr", "fpmc"))
+    def test_single_kill_point(
+        self, gowalla_split: SplitDataset, tmp_path, kind: str
+    ) -> None:
+        stream = held_out_stream(gowalla_split)
+        reference = reference_fingerprint(
+            gowalla_split, kind, stream, tmp_path
+        )
+        crashed_at, recovered = crash_and_recover(
+            gowalla_split, kind, stream, tmp_path, crash_on_write=41
+        )
+        assert 0 < crashed_at < len(stream)
+        assert recovered == reference
+
+    def test_kill_after_checkpoint(
+        self, gowalla_split: SplitDataset, tmp_path
+    ) -> None:
+        """Checkpoint survives the crash; only the WAL suffix replays."""
+        stream = held_out_stream(gowalla_split)
+        reference = reference_fingerprint(
+            gowalla_split, "tsppr", stream, tmp_path
+        )
+        crashed_at, recovered = crash_and_recover(
+            gowalla_split,
+            "tsppr",
+            stream,
+            tmp_path,
+            crash_on_write=60,
+            checkpoint_at=30,
+        )
+        assert crashed_at > 30
+        assert recovered == reference
+
+
+@pytest.mark.tier2
+class TestKillPointSweep:
+    """Every 9th WAL write as a crash point (slow, tier2)."""
+
+    @pytest.mark.parametrize("kind", ("tsppr", "fpmc"))
+    def test_sweep(
+        self, gowalla_split: SplitDataset, tmp_path, kind: str
+    ) -> None:
+        stream = held_out_stream(gowalla_split)
+        reference = reference_fingerprint(
+            gowalla_split, kind, stream, tmp_path
+        )
+        failures: List[str] = []
+        for crash_on_write in range(9, len(stream), 9):
+            crashed_at, recovered = crash_and_recover(
+                gowalla_split, kind, stream, tmp_path, crash_on_write
+            )
+            if recovered != reference:
+                failures.append(
+                    f"kill at write {crash_on_write} (stream position "
+                    f"{crashed_at}): fingerprint diverged"
+                )
+        assert not failures, "; ".join(failures)
+
+    def test_sweep_with_checkpoints(
+        self, gowalla_split: SplitDataset, tmp_path
+    ) -> None:
+        """Checkpoint cadence x kill point: resume always lands exact."""
+        stream = held_out_stream(gowalla_split)
+        reference = reference_fingerprint(
+            gowalla_split, "ppr", stream, tmp_path
+        )
+        for crash_on_write, checkpoint_at in (
+            (25, 10),
+            (50, 40),
+            (75, 74),
+            (100, 50),
+        ):
+            crashed_at, recovered = crash_and_recover(
+                gowalla_split,
+                "ppr",
+                stream,
+                tmp_path,
+                crash_on_write=crash_on_write,
+                checkpoint_at=checkpoint_at,
+            )
+            assert recovered == reference, (
+                f"kill at write {crash_on_write} with checkpoint at "
+                f"{checkpoint_at} (crashed at {crashed_at}) diverged"
+            )

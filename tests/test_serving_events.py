@@ -21,6 +21,7 @@ from repro.serving.events import (
     EventLog,
     _parse_line,
     _payload_crc,
+    scan_events,
 )
 
 
@@ -274,3 +275,105 @@ class TestFaultInjection:
                     log.append(0, n)
                     n += 1
             assert n == 4
+
+
+class TestEventTimestamps:
+    def test_append_stamps_wall_clock(self, log_path) -> None:
+        with EventLog.open(log_path) as log:
+            events = [log.append(0, item) for item in range(3)]
+        assert all(isinstance(e.ts, float) for e in events)
+        assert events[0].ts <= events[1].ts <= events[2].ts
+
+    def test_ts_round_trips_exactly(self) -> None:
+        event = Event(seq=5, user=1, item=9, ts=1786159794.7334421)
+        record = json.loads(event.to_line())
+        assert record["ts"] == 1786159794.7334421
+        assert record["crc"] == _payload_crc(5, 1, 9, 1786159794.7334421)
+        assert _parse_line(event.to_line().rstrip("\n")) == event
+
+    def test_crc_covers_ts(self) -> None:
+        line = Event(seq=0, user=1, item=2, ts=3.5).to_line().rstrip("\n")
+        tampered = line.replace('"ts":3.5', '"ts":4.5')
+        assert tampered != line
+        assert _parse_line(tampered) is None
+
+    def test_legacy_record_without_ts_still_parses(self) -> None:
+        line = json.dumps(
+            {"seq": 0, "user": 1, "item": 2, "crc": _payload_crc(0, 1, 2)}
+        )
+        event = _parse_line(line)
+        assert event == Event(seq=0, user=1, item=2)
+        assert event.ts is None
+
+    def test_reopen_preserves_timestamps(self, log_path) -> None:
+        with EventLog.open(log_path) as log:
+            written = [log.append(0, item) for item in range(4)]
+        replayed = list(EventLog.open(log_path, readonly=True).iter_events())
+        assert [e.ts for e in replayed] == [e.ts for e in written]
+
+
+class TestScanEvents:
+    """Readonly inspection without loading segments into memory."""
+
+    def write_log(self, log_path, n=5, seal=True):
+        log = EventLog.open(log_path)
+        written = [log.append(item % 2, item) for item in range(n)]
+        if seal:
+            log.close()
+        return written
+
+    def test_streams_exactly_the_committed_events(self, log_path) -> None:
+        written = self.write_log(log_path)
+        scanned = list(scan_events(log_path))
+        assert scanned == written
+
+    def test_is_lazy(self, log_path) -> None:
+        self.write_log(log_path, n=10)
+        stream = scan_events(log_path)
+        assert iter(stream) is stream  # a generator, not a list
+        first = next(stream)
+        assert (first.seq, first.user, first.item) == (0, 0, 0)
+
+    def test_missing_file_yields_nothing(self, tmp_path) -> None:
+        assert list(scan_events(tmp_path / "absent.log")) == []
+
+    def test_torn_tail_ends_stream_silently(self, log_path) -> None:
+        self.write_log(log_path, n=3, seal=False)
+        with log_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq":3,"user":0,"it')
+        assert [e.seq for e in scan_events(log_path)] == [0, 1, 2]
+
+    def test_corrupt_final_complete_line_ends_stream(self, log_path) -> None:
+        self.write_log(log_path, n=3, seal=False)
+        with log_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq":3,"user":0,"item":1,"crc":"00000000"}\n')
+        assert [e.seq for e in scan_events(log_path)] == [0, 1, 2]
+
+    def test_interior_corruption_raises(self, log_path) -> None:
+        self.write_log(log_path, n=4, seal=False)
+        lines = log_path.read_text().splitlines()
+        lines[1] = '{"seq":1,"user":0,"item":1,"crc":"00000000"}'
+        log_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DataError, match="corrupt event record"):
+            list(scan_events(log_path))
+
+    def test_seq_gap_raises(self, log_path) -> None:
+        self.write_log(log_path, n=4, seal=False)
+        lines = log_path.read_text().splitlines()
+        del lines[1]
+        log_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DataError, match="non-contiguous"):
+            list(scan_events(log_path))
+
+    def test_sealed_shortfall_raises(self, log_path) -> None:
+        self.write_log(log_path, n=4, seal=True)
+        lines = log_path.read_text().splitlines()
+        log_path.write_text("\n".join(lines[:2]) + "\n")
+        with pytest.raises(DataError, match="sealed|seals"):
+            list(scan_events(log_path))
+
+    def test_matches_eventlog_open(self, log_path) -> None:
+        self.write_log(log_path, n=6)
+        assert list(scan_events(log_path)) == list(
+            EventLog.open(log_path, readonly=True).iter_events()
+        )
